@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark drivers.
+
+Every benchmark regenerates one of the paper's tables or figures.  By
+default datasets are scaled down so the full suite completes in
+minutes; set ``REPRO_FULL=1`` to run at the paper's full dataset sizes
+(Table II).  Expectation checks are *shape-level* (who wins, rough
+ordering), matching DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import os
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Rows per dataset for benchmark runs (None = the Table II size).
+BENCH_ROWS: dict[str, int | None] = (
+    {name: None for name in (
+        "hospital", "flights", "beers", "rayyan", "billionaire", "movies",
+    )}
+    if FULL
+    else {
+        "hospital": 400,
+        "flights": 600,
+        "beers": 600,
+        "rayyan": 400,
+        "billionaire": 600,
+        "movies": 800,
+    }
+)
+
+#: Tax scalability sweep sizes (paper: 50k-200k).  The scaled default
+#: reaches 16k — past the point where ZeroED's sub-linear token curve
+#: crosses below FM_ED's linear one, so Fig. 8b's crossover is visible.
+TAX_SIZES: list[int] = [50_000, 100_000, 150_000, 200_000] if FULL else [
+    2_000, 8_000, 16_000,
+]
+
+#: Datasets used by the heavier sweeps (Figs. 9/10, Tables IV/V).
+SWEEP_DATASETS: list[str] = (
+    ["hospital", "flights", "beers", "rayyan", "billionaire", "movies"]
+    if FULL
+    else ["hospital", "flights", "beers"]
+)
+
+SEED = 0
+
+
+def rows_for(dataset: str) -> int | None:
+    return BENCH_ROWS.get(dataset)

@@ -1,0 +1,64 @@
+"""Extended ablations beyond the paper's Table IV (DESIGN.md §4).
+
+Covers the design choices the paper does not isolate:
+* feature-block ablations (semantic / statistical blocks individually);
+* label propagation on/off;
+* the mutual-verification thresholds of Algorithm 1.
+
+Shape expectation: the default configuration is competitive with every
+variant on mean F1 (no variant dominates it by a wide margin).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from _common import SEED, SWEEP_DATASETS, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.config import ZeroEDConfig
+
+VARIANTS: dict[str, dict] = {
+    "default": {},
+    "no-semantic": {"use_semantic_features": False},
+    "no-statistical": {"use_statistical_features": False},
+    "no-propagation": {"propagate_labels": False},
+    "loose-verify(0.5)": {"data_pass_threshold": 0.5},
+    "untrusted-verify": {"data_verify_accuracy": 0.0},
+}
+
+
+def build_extended() -> list[dict]:
+    rows = []
+    for dataset in SWEEP_DATASETS:
+        for variant, overrides in VARIANTS.items():
+            config = dataclasses.replace(
+                ZeroEDConfig(seed=SEED), **overrides
+            )
+            run = run_method(
+                "zeroed", dataset, n_rows=rows_for(dataset), seed=SEED,
+                zeroed_config=config,
+            )
+            row = run.as_row()
+            row["variant"] = variant
+            rows.append(row)
+    return rows
+
+
+def test_extended_ablations(benchmark):
+    rows = benchmark.pedantic(build_extended, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["variant", "dataset", "precision", "recall", "f1"],
+        title="Extended ablations (beyond Table IV)",
+    ))
+    write_json(results_dir() / "ablation_extended.json", rows)
+
+    mean_f1: dict[str, list[float]] = {}
+    for row in rows:
+        mean_f1.setdefault(row["variant"], []).append(row["f1"])
+    means = {k: float(np.mean(v)) for k, v in mean_f1.items()}
+    assert means["default"] >= max(means.values()) - 0.05

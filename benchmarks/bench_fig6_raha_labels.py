@@ -1,0 +1,64 @@
+"""E6 — Fig. 6: Raha's active-learning curve vs ZeroED.
+
+Sweeps Raha's human-label budget from 0 to 45 tuples and records where
+(if anywhere) it first overtakes the zero-label ZeroED line — the
+paper's point being that Raha needs >20 labeled tuples on most datasets
+to match ZeroED.
+"""
+
+from __future__ import annotations
+
+from _common import SEED, SWEEP_DATASETS, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.data.registry import get_dataset
+
+BUDGETS = (0, 5, 10, 15, 20, 25, 30, 35, 40, 45)
+
+
+def build_fig6() -> list[dict]:
+    rows = []
+    for dataset in SWEEP_DATASETS:
+        spec = get_dataset(dataset)
+        data = spec.make(n_rows=rows_for(dataset), seed=SEED)
+        zeroed = run_method("zeroed", dataset, seed=SEED, data=data)
+        rows.append({
+            "dataset": dataset, "method": "zeroed", "labels": 0,
+            "f1": round(zeroed.prf.f1, 3),
+        })
+        for budget in BUDGETS:
+            run = run_method(
+                "raha", dataset, seed=SEED, data=data, label_budget=budget
+            )
+            rows.append({
+                "dataset": dataset, "method": "raha", "labels": budget,
+                "f1": round(run.prf.f1, 3),
+            })
+    return rows
+
+
+def test_fig6_raha_active_learning(benchmark):
+    rows = benchmark.pedantic(build_fig6, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["dataset", "method", "labels", "f1"],
+        title="Fig. 6 — Raha performance via active learning",
+    ))
+    write_json(results_dir() / "fig6_raha_labels.json", rows)
+
+    for dataset in SWEEP_DATASETS:
+        zeroed_f1 = next(
+            r["f1"] for r in rows
+            if r["dataset"] == dataset and r["method"] == "zeroed"
+        )
+        raha = {
+            r["labels"]: r["f1"] for r in rows
+            if r["dataset"] == dataset and r["method"] == "raha"
+        }
+        # Shape: Raha's curve rises with the label budget...
+        assert raha[45] >= raha[0]
+        # ...and Raha at the paper's 2-tuple regime (~0-5 labels) does
+        # not beat zero-label ZeroED.
+        assert raha[0] <= zeroed_f1
+        assert raha[5] <= zeroed_f1 + 0.05

@@ -1,0 +1,74 @@
+"""E7 — Fig. 7: end-to-end runtime across datasets and data sizes.
+
+(a) runtime of every method per comparison dataset; (b) ZeroED / Raha /
+dBoost runtime on growing slices of the Tax dataset.  Shape
+expectations: simple heuristic methods (dBoost, NADEEF, KATARA) run
+orders of magnitude faster than ZeroED, and ZeroED's runtime grows
+with data size.
+"""
+
+from __future__ import annotations
+
+from _common import SEED, TAX_SIZES, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.data.registry import COMPARISON_DATASETS
+
+FAST_METHODS = ("dboost", "nadeef", "katara")
+PART_A_METHODS = ("dboost", "nadeef", "katara", "raha", "fm_ed", "zeroed")
+PART_B_METHODS = ("dboost", "raha", "zeroed")
+
+
+def build_fig7() -> dict:
+    part_a = []
+    for dataset in COMPARISON_DATASETS:
+        for method in PART_A_METHODS:
+            run = run_method(
+                method, dataset, n_rows=rows_for(dataset), seed=SEED
+            )
+            part_a.append({
+                "dataset": dataset, "method": method,
+                "seconds": round(run.seconds, 3),
+            })
+    part_b = []
+    for size in TAX_SIZES:
+        for method in PART_B_METHODS:
+            run = run_method(method, "tax", n_rows=size, seed=SEED)
+            part_b.append({
+                "rows": size, "method": method,
+                "seconds": round(run.seconds, 3),
+            })
+    return {"across_datasets": part_a, "tax_scaling": part_b}
+
+
+def test_fig7_runtime(benchmark):
+    result = benchmark.pedantic(build_fig7, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        result["across_datasets"],
+        ["dataset", "method", "seconds"],
+        title="Fig. 7a — runtime across datasets",
+    ))
+    print()
+    print(format_table(
+        result["tax_scaling"],
+        ["rows", "method", "seconds"],
+        title="Fig. 7b — runtime vs data size (Tax)",
+    ))
+    write_json(results_dir() / "fig7_runtime.json", result)
+
+    by = {
+        (r["dataset"], r["method"]): r["seconds"]
+        for r in result["across_datasets"]
+    }
+    for dataset in COMPARISON_DATASETS:
+        # Shape: heuristic methods are much faster than ZeroED.
+        for fast in FAST_METHODS:
+            assert by[(dataset, fast)] <= by[(dataset, "zeroed")]
+    tax = {
+        (r["method"], r["rows"]): r["seconds"]
+        for r in result["tax_scaling"]
+    }
+    sizes = sorted({r["rows"] for r in result["tax_scaling"]})
+    # Shape: ZeroED runtime grows with data size.
+    assert tax[("zeroed", sizes[-1])] > tax[("zeroed", sizes[0])]

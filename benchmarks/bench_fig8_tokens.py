@@ -1,0 +1,90 @@
+"""E8 — Fig. 8: LLM token consumption, ZeroED vs FM_ED.
+
+(a) input/output tokens per comparison dataset; (b) token growth on
+increasing Tax slices.  Shape expectations from the paper: FM_ED is
+input-token-heavy (it serialises *every* tuple), ZeroED concentrates
+spend on output tokens (criteria/guidelines/reasoning), and on the
+largest Tax slice ZeroED cuts total tokens by a large factor (the paper
+reports >90% reduction at 200k rows).
+"""
+
+from __future__ import annotations
+
+from _common import FULL, SEED, TAX_SIZES, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.data.registry import COMPARISON_DATASETS
+
+
+def build_fig8() -> dict:
+    part_a = []
+    for dataset in COMPARISON_DATASETS:
+        for method in ("zeroed", "fm_ed"):
+            run = run_method(
+                method, dataset, n_rows=rows_for(dataset), seed=SEED
+            )
+            part_a.append({
+                "dataset": dataset, "method": method,
+                "input_tokens": run.input_tokens,
+                "output_tokens": run.output_tokens,
+                "total": run.input_tokens + run.output_tokens,
+            })
+    part_b = []
+    for size in TAX_SIZES:
+        for method in ("zeroed", "fm_ed"):
+            run = run_method(method, "tax", n_rows=size, seed=SEED)
+            part_b.append({
+                "rows": size, "method": method,
+                "input_tokens": run.input_tokens,
+                "output_tokens": run.output_tokens,
+                "total": run.input_tokens + run.output_tokens,
+            })
+    return {"across_datasets": part_a, "tax_scaling": part_b}
+
+
+def test_fig8_token_consumption(benchmark):
+    result = benchmark.pedantic(build_fig8, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        result["across_datasets"],
+        ["dataset", "method", "input_tokens", "output_tokens", "total"],
+        title="Fig. 8a — token cost across datasets",
+    ))
+    print()
+    print(format_table(
+        result["tax_scaling"],
+        ["rows", "method", "input_tokens", "output_tokens", "total"],
+        title="Fig. 8b — token cost vs data size (Tax)",
+    ))
+    write_json(results_dir() / "fig8_tokens.json", result)
+
+    a = {
+        (r["dataset"], r["method"]): r for r in result["across_datasets"]
+    }
+    for dataset in COMPARISON_DATASETS:
+        zeroed = a[(dataset, "zeroed")]
+        fm = a[(dataset, "fm_ed")]
+        # Shape: FM_ED is input-dominated; ZeroED's output share is far
+        # larger than FM_ED's.
+        assert fm["input_tokens"] > fm["output_tokens"]
+        zeroed_out_share = zeroed["output_tokens"] / max(zeroed["total"], 1)
+        fm_out_share = fm["output_tokens"] / max(fm["total"], 1)
+        assert zeroed_out_share > fm_out_share
+
+    b = {(r["method"], r["rows"]): r for r in result["tax_scaling"]}
+    largest = max(TAX_SIZES)
+    zeroed_total = b[("zeroed", largest)]["total"]
+    fm_total = b[("fm_ed", largest)]["total"]
+    # Shape: ZeroED's token cost is a fraction of FM_ED's at the
+    # largest size.  The paper's >90% reduction materialises at 200k
+    # rows where the labeling budget is capped while FM_ED stays
+    # linear; the scaled-down default sits earlier on the same curve,
+    # so the bound is correspondingly looser.
+    reduction = 1 - zeroed_total / max(fm_total, 1)
+    assert reduction > (0.9 if FULL else 0.15)
+    # Shape: FM_ED grows steeply with size, ZeroED sub-linearly.
+    fm_growth = b[("fm_ed", largest)]["total"] / b[("fm_ed", TAX_SIZES[0])]["total"]
+    zeroed_growth = (
+        b[("zeroed", largest)]["total"] / b[("zeroed", TAX_SIZES[0])]["total"]
+    )
+    assert fm_growth > zeroed_growth

@@ -1,0 +1,49 @@
+"""E9 — Fig. 9: effect of the LLM label rate (clustering number).
+
+Sweeps the label rate from 1% to 5% (cluster count = rows x rate).
+Shape expectation: F1 generally improves with more labeled data — the
+5% setting beats the 1% setting on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import SEED, SWEEP_DATASETS, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.config import ZeroEDConfig
+
+RATES = (0.01, 0.02, 0.03, 0.04, 0.05)
+
+
+def build_fig9() -> list[dict]:
+    rows = []
+    for dataset in SWEEP_DATASETS:
+        for rate in RATES:
+            config = ZeroEDConfig(seed=SEED, label_rate=rate)
+            run = run_method(
+                "zeroed", dataset, n_rows=rows_for(dataset), seed=SEED,
+                zeroed_config=config,
+            )
+            row = run.as_row()
+            row["label_rate"] = rate
+            rows.append(row)
+    return rows
+
+
+def test_fig9_label_rate(benchmark):
+    rows = benchmark.pedantic(build_fig9, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["dataset", "label_rate", "precision", "recall", "f1"],
+        title="Fig. 9 — performance under different label rates",
+    ))
+    write_json(results_dir() / "fig9_label_rate.json", rows)
+
+    f1 = {(r["dataset"], r["label_rate"]): r["f1"] for r in rows}
+    low = float(np.mean([f1[(d, RATES[0])] for d in SWEEP_DATASETS]))
+    high = float(np.mean([f1[(d, RATES[-1])] for d in SWEEP_DATASETS]))
+    # Shape: more labels help on average.
+    assert high >= low

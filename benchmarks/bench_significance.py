@@ -1,0 +1,58 @@
+"""Statistical significance of ZeroED's wins (paper Table III footnote).
+
+The paper backs Table III with paired t-tests (p < 0.05) over repeated
+runs.  This bench repeats ZeroED and the strongest baselines across
+seeds on two datasets and reports mean±std F1 plus the paired-t p-value
+of ZeroED against each baseline.
+"""
+
+from __future__ import annotations
+
+from _common import SEED, rows_for
+from repro.bench import paired_t_test, run_repeated
+from repro.bench.reporting import format_table, results_dir, write_json
+
+DATASETS = ("beers", "hospital")
+BASELINES = ("dboost", "nadeef", "fm_ed")
+SEEDS = (0, 1, 2)
+
+
+def build_significance() -> list[dict]:
+    rows = []
+    for dataset in DATASETS:
+        zeroed = run_repeated(
+            "zeroed", dataset, seeds=SEEDS, n_rows=rows_for(dataset)
+        )
+        rows.append(dict(zeroed.as_row(), p_vs_zeroed=""))
+        for baseline in BASELINES:
+            agg = run_repeated(
+                baseline, dataset, seeds=SEEDS, n_rows=rows_for(dataset)
+            )
+            _, p = paired_t_test(zeroed, agg)
+            rows.append(dict(agg.as_row(), p_vs_zeroed=round(p, 4)))
+    return rows
+
+
+def test_significance(benchmark):
+    rows = benchmark.pedantic(build_significance, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["method", "dataset", "runs", "precision", "recall", "f1",
+         "p_vs_zeroed"],
+        title="Paired t-tests: ZeroED vs strongest baselines (3 seeds)",
+    ))
+    write_json(results_dir() / "significance.json", rows)
+
+    # Shape: ZeroED's mean F1 beats each baseline's mean on each dataset.
+    f1_mean = {}
+    for row in rows:
+        f1_mean[(row["method"], row["dataset"])] = float(
+            row["f1"].split("±")[0]
+        )
+    for dataset in DATASETS:
+        zeroed_key = next(
+            k for k in f1_mean if k[0].startswith("zeroed") and k[1] == dataset
+        )
+        for baseline in BASELINES:
+            assert f1_mean[zeroed_key] > f1_mean[(baseline, dataset)]

@@ -1,0 +1,54 @@
+"""E1 — Table II: dataset statistics.
+
+Regenerates the dataset-information table: tuples, attributes, overall
+error rate and per-type error rates, for all seven benchmark datasets.
+"""
+
+from __future__ import annotations
+
+from _common import SEED, rows_for
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.data.errortypes import ErrorType
+from repro.data.registry import dataset_names, get_dataset
+
+_TYPE_ORDER = (
+    ErrorType.MISSING, ErrorType.PATTERN, ErrorType.TYPO,
+    ErrorType.OUTLIER, ErrorType.RULE,
+)
+
+
+def build_table2() -> list[dict]:
+    rows = []
+    for name in dataset_names():
+        spec = get_dataset(name)
+        n_rows = rows_for(name) or (2000 if name == "tax" else None)
+        data = spec.make(n_rows=n_rows, seed=SEED)
+        total_cells = data.dirty.n_rows * data.dirty.n_attributes
+        by_type = data.count_by_type()
+        row = {
+            "Name": name,
+            "#Tuples": data.dirty.n_rows,
+            "#A.": data.dirty.n_attributes,
+            "Err.(%)": round(100 * data.mask.error_rate(), 2),
+        }
+        for etype in _TYPE_ORDER:
+            row[f"{etype.short}(%)"] = round(
+                100 * by_type.get(etype, 0) / total_cells, 2
+            )
+        rows.append(row)
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    columns = ["Name", "#Tuples", "#A.", "Err.(%)", "MV(%)", "PV(%)",
+               "T(%)", "O(%)", "RV(%)"]
+    print()
+    print(format_table(rows, columns, title="Table II — dataset statistics"))
+    write_json(results_dir() / "table2_datasets.json", rows)
+    by_name = {r["Name"]: r for r in rows}
+    # Shape checks against the paper's Table II.
+    assert by_name["flights"]["Err.(%)"] > by_name["hospital"]["Err.(%)"]
+    assert by_name["rayyan"]["MV(%)"] > by_name["hospital"]["MV(%)"]
+    assert by_name["movies"]["RV(%)"] == 0.0
+    assert all(r["Err.(%)"] < 40 for r in rows)

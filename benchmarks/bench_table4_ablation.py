@@ -1,0 +1,60 @@
+"""E3 — Table IV: ablation study.
+
+Removes one ZeroED component at a time — guideline generation (Guid.),
+criteria reasoning (Crit.), correlated-attribute calculation (Corr.),
+and training-data verification/augmentation (Veri.) — and compares F1
+against the full pipeline.  Shape expectation: no ablation beats the
+full pipeline on mean F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import SEED, SWEEP_DATASETS, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.config import ZeroEDConfig
+
+ABLATIONS = ("full", "guid", "crit", "corr", "veri")
+
+
+def build_table4() -> list[dict]:
+    rows = []
+    for dataset in SWEEP_DATASETS:
+        for ablation in ABLATIONS:
+            config = ZeroEDConfig(seed=SEED)
+            if ablation != "full":
+                config = config.ablated(ablation)
+            run = run_method(
+                "zeroed", dataset, n_rows=rows_for(dataset), seed=SEED,
+                zeroed_config=config,
+            )
+            label = "ZeroED" if ablation == "full" else f"w/o {ablation.title()}."
+            row = run.as_row()
+            row["variant"] = label
+            rows.append(row)
+    return rows
+
+
+def test_table4_ablation(benchmark):
+    rows = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["variant", "dataset", "precision", "recall", "f1"],
+        title="Table IV — ablation study",
+    ))
+    write_json(results_dir() / "table4_ablation.json", rows)
+
+    mean_f1: dict[str, list[float]] = {}
+    for row in rows:
+        mean_f1.setdefault(row["variant"], []).append(row["f1"])
+    means = {k: float(np.mean(v)) for k, v in mean_f1.items()}
+    # Shape: the full pipeline's mean F1 is the maximum.
+    assert means["ZeroED"] == max(means.values())
+    # Each ablation costs something on average (ties allowed but no
+    # ablation should *beat* the full pipeline by a margin).
+    for variant, value in means.items():
+        if variant != "ZeroED":
+            assert value <= means["ZeroED"] + 0.02

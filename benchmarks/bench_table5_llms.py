@@ -1,0 +1,53 @@
+"""E4 — Table V: ZeroED with different LLMs.
+
+Runs the pipeline under each simulated LLM quality profile.  Shape
+expectations from the paper: Qwen2.5-72b is best on mean F1 and
+GPT-4o-mini's precision-driven weakness puts it last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import SEED, SWEEP_DATASETS, rows_for
+from repro.bench import run_method
+from repro.bench.reporting import format_table, results_dir, write_json
+from repro.llm.profiles import PROFILES
+
+
+def build_table5() -> list[dict]:
+    rows = []
+    for dataset in SWEEP_DATASETS:
+        for model in sorted(PROFILES):
+            run = run_method(
+                "zeroed", dataset, n_rows=rows_for(dataset), seed=SEED,
+                llm_model=model,
+            )
+            row = run.as_row()
+            row["llm"] = model
+            rows.append(row)
+    return rows
+
+
+def test_table5_llm_choice(benchmark):
+    rows = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        ["llm", "dataset", "precision", "recall", "f1"],
+        title="Table V — detection performance with different LLMs",
+    ))
+    write_json(results_dir() / "table5_llms.json", rows)
+
+    mean = {}
+    prec = {}
+    for row in rows:
+        mean.setdefault(row["llm"], []).append(row["f1"])
+        prec.setdefault(row["llm"], []).append(row["precision"])
+    mean_f1 = {m: float(np.mean(v)) for m, v in mean.items()}
+    mean_p = {m: float(np.mean(v)) for m, v in prec.items()}
+    # Shape: Qwen2.5-72b best overall; GPT-4o-mini hurt by precision.
+    assert mean_f1["qwen2.5-72b"] == max(mean_f1.values())
+    assert mean_p["gpt-4o-mini"] == min(mean_p.values())
+    # Bigger models beat their smaller family siblings.
+    assert mean_f1["llama3.1-70b"] >= mean_f1["qwen2.5-7b"] - 0.05

@@ -1,0 +1,92 @@
+"""Scenario: cleaning your own tabular data with ZeroED.
+
+Shows the full workflow on a *custom* dataset rather than a shipped
+benchmark: build a clean employee table, dirty it with the error
+injector (so we have ground truth to score against), run ZeroED and two
+baselines, and compare — the situation the paper's introduction
+motivates, where no rules, knowledge base or labels exist for your
+table.
+
+Run:  python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ZeroED, score_masks
+from repro.baselines import DBoost, Nadeef
+from repro.data import ErrorProfile, FunctionalDependency, Table
+from repro.data.injector import ErrorInjector
+from repro.data.rules import FDRule, PatternRule
+
+DEPARTMENT_FLOOR = {
+    "Engineering": "3", "Sales": "1", "Support": "2", "Finance": "4",
+}
+FIRST = ["Ana", "Ben", "Chloe", "Dev", "Elena", "Filip", "Grace", "Hugo"]
+LAST = ["Novak", "Reyes", "Okafor", "Silva", "Tanaka", "Weber"]
+
+
+def build_clean(n: int, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    departments = sorted(DEPARTMENT_FLOOR)
+    rows = []
+    for i in range(n):
+        dept = departments[int(rng.integers(len(departments)))]
+        rows.append([
+            f"E{i:04d}",
+            f"{FIRST[int(rng.integers(len(FIRST)))]} "
+            f"{LAST[int(rng.integers(len(LAST)))]}",
+            dept,
+            DEPARTMENT_FLOOR[dept],
+            f"{int(rng.integers(35, 160)) * 1000}",
+            f"20{int(rng.integers(10, 24)):02d}-{int(rng.integers(1, 13)):02d}-15",
+        ])
+    return Table.from_rows(
+        ["employee_id", "name", "department", "floor", "salary", "hired"],
+        rows,
+        name="employees",
+    )
+
+
+def main() -> None:
+    clean = build_clean(800)
+    profile = ErrorProfile(
+        missing=0.01, typo=0.015, pattern=0.01, outlier=0.01, rule=0.01
+    )
+    injector = ErrorInjector(
+        profile,
+        numeric_attributes=["salary"],
+        dependencies=[FunctionalDependency("department", "floor")],
+        seed=1,
+    )
+    data = injector.inject(clean)
+    print(f"dirty employees table: {data.dirty.shape}, "
+          f"error rate={data.mask.error_rate():.3f}")
+    print("injected error mix:",
+          {t.short: c for t, c in data.count_by_type().items()})
+
+    # ZeroED: zero configuration beyond a seed.
+    result = ZeroED(seed=0).detect(data.dirty)
+    print(f"\nZeroED     : {score_masks(result.mask, data.mask)}")
+
+    # dBoost: no configuration either, but statistics-only.
+    dboost = DBoost().detect(data.dirty)
+    print(f"dBoost     : {score_masks(dboost.mask, data.mask)}")
+
+    # NADEEF: needs hand-written rules — and only sees what they cover.
+    rules = [
+        FDRule("department", "floor"),
+        PatternRule("hired", r"\d{4}-\d{2}-\d{2}"),
+        PatternRule("employee_id", r"E\d{4}"),
+    ]
+    nadeef = Nadeef(rules).detect(data.dirty)
+    print(f"NADEEF     : {score_masks(nadeef.mask, data.mask)}")
+
+    # Where did ZeroED spend its LLM budget?
+    print(f"\nZeroED LLM usage: {result.n_llm_requests} requests, "
+          f"{result.input_tokens} in / {result.output_tokens} out tokens")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: detect errors in a benchmark dataset with ZeroED.
+
+Generates the Hospital benchmark (dirty table + ground truth), runs the
+ZeroED pipeline, and prints precision/recall/F1, per-stage timing and
+LLM token usage.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ZeroED, make_dataset, score_masks
+
+
+def main() -> None:
+    # 1. A dirty dataset with ground truth (Table II's Hospital shape).
+    data = make_dataset("hospital", n_rows=500, seed=0)
+    print(f"dataset: {data.dirty.name}, shape={data.dirty.shape}, "
+          f"true error rate={data.mask.error_rate():.3f}")
+
+    # 2. Zero-shot detection: no labels, no rules, no knowledge base.
+    zeroed = ZeroED(seed=0)
+    result = zeroed.detect(data.dirty)
+
+    # 3. Score against ground truth.
+    prf = score_masks(result.mask, data.mask)
+    print(f"\nZeroED [{zeroed.llm.model_name}]: {prf}")
+
+    print("\nPer-stage timing (seconds):")
+    for stage in result.stages:
+        print(f"  {stage.name:16s} {stage.seconds:7.2f}  "
+              f"(tokens in/out: {stage.input_tokens}/{stage.output_tokens})")
+
+    print(f"\nLLM requests: {result.n_llm_requests}, "
+          f"tokens: {result.input_tokens} in / {result.output_tokens} out")
+
+    # 4. Inspect a few detected error cells.
+    print("\nSample detections (row, attribute, value):")
+    for i, attr in result.mask.error_cells()[:8]:
+        print(f"  ({i:4d}, {attr:16s}) -> {data.dirty.cell(i, attr)!r}")
+
+
+if __name__ == "__main__":
+    main()

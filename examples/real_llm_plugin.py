@@ -1,0 +1,82 @@
+"""Scenario: swapping the simulated backend for a real LLM API.
+
+`ZeroED(llm=...)` accepts any `repro.llm.LLMClient`. `HTTPChatLLM`
+speaks the OpenAI-compatible `/v1/chat/completions` protocol (vLLM,
+OpenAI, together, ...), parsing free-text replies into the pipeline's
+structured payloads.
+
+This example is runnable offline: it wires a *fake transport* that
+plays a minimal scripted model, demonstrating exactly what bytes would
+go on the wire and how replies are parsed.  Point `base_url` at a live
+endpoint (and drop the transport argument) to use a real model:
+
+    llm = HTTPChatLLM("http://localhost:8000/v1", model="Qwen2.5-72B")
+    result = ZeroED(llm=llm).detect(table)
+
+Run:  python examples/real_llm_plugin.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.llm.client import LLMRequest
+from repro.llm.http_client import HTTPChatLLM
+
+
+def scripted_model(url: str, headers: dict, body: bytes, timeout: float) -> str:
+    """A stand-in server: answers per prompt keyword, logs the wire."""
+    request = json.loads(body)
+    prompt = request["messages"][0]["content"]
+    print(f"POST {url}")
+    print(f"  model={request['model']} temperature={request['temperature']}")
+    print(f"  prompt preview: {prompt[:70]!r}...")
+    if "error-checking criteria" in prompt:
+        content = (
+            "Here are the criteria:\n"
+            "```python\n"
+            "def is_clean_not_missing(row, attr):\n"
+            "    return bool(row[attr].strip())\n\n"
+            "def is_clean_zip_format(row, attr):\n"
+            "    import re\n"
+            "    return re.fullmatch(r'\\d{5}', row[attr]) is not None\n"
+            "```"
+        )
+    elif "erroneous (1) or clean (0)" in prompt:
+        content = "Labels: 0, 0, 1, 0"
+    else:
+        content = "A detailed guideline would appear here."
+    return json.dumps({"choices": [{"message": {"content": content}}]})
+
+
+def main() -> None:
+    llm = HTTPChatLLM(
+        base_url="http://localhost:8000/v1",
+        model="Qwen2.5-72B-Instruct",
+        api_key="sk-demo",
+        transport=scripted_model,  # remove for a live endpoint
+    )
+
+    # 1. Criteria request: code fences are parsed into compilable specs.
+    response = llm.complete(LLMRequest(
+        kind="criteria",
+        prompt="Write executable error-checking criteria for 'zip'...",
+        payload={"attr": "zip"},
+    ))
+    print("\nparsed criteria:")
+    for spec in response.payload:
+        print(f"  {spec['name']} (context: {spec['context_attrs']})")
+
+    # 2. Labeling request: free-text digits become 0/1 labels.
+    response = llm.complete(LLMRequest(
+        kind="label_batch",
+        prompt="Decide for each value whether it is erroneous (1) or clean (0)",
+        payload={"values": ["02115", "60601", "6060", "94103"]},
+    ))
+    print(f"\nparsed labels: {response.payload}")
+
+    print(f"\ntoken ledger: {llm.ledger.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Render a consolidated text report from results/*.json artifacts.
+
+Usage:  python scripts/render_report.py [> results/REPORT.txt]
+
+Collects every benchmark artifact the suite wrote and prints the
+paper-style tables plus ASCII renderings of the figure series, so the
+whole evaluation is readable in one place without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.figures import render_line_chart
+from repro.bench.reporting import format_table
+
+RESULTS = Path(__file__).resolve().parents[1] / "results"
+
+
+def load(name: str):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    table2 = load("table2_datasets")
+    if table2:
+        section("Table II — dataset statistics")
+        print(format_table(
+            table2,
+            ["Name", "#Tuples", "#A.", "Err.(%)", "MV(%)", "PV(%)",
+             "T(%)", "O(%)", "RV(%)"],
+        ))
+
+    table3 = load("table3_comparison")
+    if table3:
+        section("Table III — method comparison")
+        print(format_table(
+            table3, ["method", "dataset", "precision", "recall", "f1"]
+        ))
+
+    table4 = load("table4_ablation")
+    if table4:
+        section("Table IV — ablation study")
+        print(format_table(
+            table4, ["variant", "dataset", "precision", "recall", "f1"]
+        ))
+
+    table5 = load("table5_llms")
+    if table5:
+        section("Table V — LLM choice")
+        print(format_table(
+            table5, ["llm", "dataset", "precision", "recall", "f1"]
+        ))
+
+    table6 = load("table6_clustering")
+    if table6:
+        section("Table VI — clustering methods")
+        print(format_table(
+            table6, ["clustering", "dataset", "precision", "recall", "f1"]
+        ))
+
+    fig6 = load("fig6_raha_labels")
+    if fig6:
+        section("Fig. 6 — Raha active learning vs ZeroED")
+        datasets = sorted({r["dataset"] for r in fig6})
+        for dataset in datasets:
+            series = {
+                "raha": [
+                    (r["labels"], r["f1"]) for r in fig6
+                    if r["dataset"] == dataset and r["method"] == "raha"
+                ],
+            }
+            zeroed = [
+                r["f1"] for r in fig6
+                if r["dataset"] == dataset and r["method"] == "zeroed"
+            ]
+            if zeroed:
+                series["zeroed(0 labels)"] = [
+                    (x, zeroed[0]) for x in (0, 45)
+                ]
+            print(render_line_chart(
+                series, title=f"[{dataset}]", height=10,
+                y_label="F1", x_label="#labeled tuples",
+            ))
+
+    fig7 = load("fig7_runtime")
+    if fig7:
+        section("Fig. 7b — runtime vs Tax size")
+        methods = sorted({r["method"] for r in fig7["tax_scaling"]})
+        series = {
+            m: [
+                (r["rows"], r["seconds"]) for r in fig7["tax_scaling"]
+                if r["method"] == m
+            ]
+            for m in methods
+        }
+        print(render_line_chart(
+            series, height=12, y_label="seconds", x_label="rows"
+        ))
+
+    fig8 = load("fig8_tokens")
+    if fig8:
+        section("Fig. 8b — token cost vs Tax size")
+        methods = sorted({r["method"] for r in fig8["tax_scaling"]})
+        series = {
+            m: [
+                (r["rows"], r["total"]) for r in fig8["tax_scaling"]
+                if r["method"] == m
+            ]
+            for m in methods
+        }
+        print(render_line_chart(
+            series, height=12, y_label="tokens", x_label="rows"
+        ))
+
+    fig9 = load("fig9_label_rate")
+    if fig9:
+        section("Fig. 9 — label-rate sweep")
+        print(format_table(
+            fig9, ["dataset", "label_rate", "precision", "recall", "f1"]
+        ))
+
+    fig10 = load("fig10_corr_attrs")
+    if fig10:
+        section("Fig. 10 — correlated-attribute sweep")
+        print(format_table(
+            fig10, ["dataset", "n_correlated", "precision", "recall", "f1"]
+        ))
+
+    fig11 = load("fig11_error_types")
+    if fig11:
+        section("Fig. 11 — error-type scenarios (Beers)")
+        print(format_table(
+            fig11, ["scenario", "method", "precision", "recall", "f1"]
+        ))
+
+    sig = load("significance")
+    if sig:
+        section("Paired t-tests (3 seeds)")
+        print(format_table(
+            sig, ["method", "dataset", "precision", "recall", "f1",
+                  "p_vs_zeroed"],
+        ))
+
+    extended = load("ablation_extended")
+    if extended:
+        section("Extended ablations (beyond Table IV)")
+        print(format_table(
+            extended, ["variant", "dataset", "precision", "recall", "f1"]
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a full reproduction of ZeroED (ICDE 2025).
+
+ZeroED is a hybrid zero-shot error-detection framework combining LLM
+reasoning with a classical ML pipeline.  The top-level package exposes
+the public API: dataset access, the ZeroED pipeline, the baselines, and
+metric helpers.
+
+Quickstart::
+
+    from repro import ZeroED, make_dataset, score_masks
+
+    data = make_dataset("hospital", seed=0)
+    zeroed = ZeroED(seed=0)
+    result = zeroed.detect(data.dirty)
+    print(score_masks(result.mask, data.mask))
+"""
+
+from repro.version import __version__
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.core.result import DetectionResult
+from repro.data import (
+    COMPARISON_DATASETS,
+    ErrorMask,
+    ErrorProfile,
+    ErrorType,
+    Table,
+    get_dataset,
+    make_dataset,
+)
+from repro.llm import LLMClient, SimulatedLLM, TokenLedger
+from repro.ml import PRF, precision_recall_f1, score_masks
+
+__all__ = [
+    "COMPARISON_DATASETS",
+    "DetectionResult",
+    "ErrorMask",
+    "ErrorProfile",
+    "ErrorType",
+    "LLMClient",
+    "PRF",
+    "SimulatedLLM",
+    "Table",
+    "TokenLedger",
+    "ZeroED",
+    "ZeroEDConfig",
+    "__version__",
+    "get_dataset",
+    "make_dataset",
+    "precision_recall_f1",
+    "score_masks",
+]

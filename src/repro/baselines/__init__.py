@@ -1,0 +1,21 @@
+"""Baseline error-detection methods evaluated against ZeroED."""
+
+from repro.baselines.activeclean import ActiveClean
+from repro.baselines.base import Detector
+from repro.baselines.dboost import DBoost, DBoostConfig
+from repro.baselines.fm_ed import FMED
+from repro.baselines.katara import Katara
+from repro.baselines.nadeef import Nadeef
+from repro.baselines.raha import Raha, strategy_matrix
+
+__all__ = [
+    "ActiveClean",
+    "DBoost",
+    "DBoostConfig",
+    "Detector",
+    "FMED",
+    "Katara",
+    "Nadeef",
+    "Raha",
+    "strategy_matrix",
+]

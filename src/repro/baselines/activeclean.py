@@ -1,0 +1,97 @@
+"""ActiveClean baseline (Krishnan et al., 2016).
+
+ActiveClean detects dirty *records* by their influence on a downstream
+model: records the model finds surprising (high loss / gradient
+magnitude) are prioritised for cleaning.  Following the paper's use of
+it as an error detector, we train a tuple-level linear model on a small
+labeled budget (tuple featurisation is deliberately simple — that
+simplicity is exactly why the paper reports it "struggles to
+differentiate errors", flagging nearly everything on Flights/Rayyan)
+and flag every cell of each tuple classified dirty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Detector
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.mask import ErrorMask
+from repro.data.stats import AttributeStats
+from repro.data.table import Table
+from repro.ml.rng import RngLike, as_generator
+
+
+class ActiveClean(Detector):
+    """Tuple-level dirty-record classifier with simple features."""
+
+    name = "activeclean"
+
+    def __init__(
+        self,
+        truth: ErrorMask,
+        n_labeled_tuples: int = 2,
+        seed: RngLike = 0,
+    ) -> None:
+        """``truth`` plays the human oracle: only ``n_labeled_tuples``
+        randomly chosen tuples' labels are revealed to the detector."""
+        self.truth = truth
+        self.n_labeled_tuples = n_labeled_tuples
+        self._rng = as_generator(seed)
+
+    # ------------------------------------------------------------------
+    def _tuple_features(self, table: Table) -> np.ndarray:
+        """Per-tuple features: mean value frequency, missing share,
+        mean pattern frequency — the 'simple feature extraction' the
+        paper criticises."""
+        stats = {a: AttributeStats.compute(table, a) for a in table.attributes}
+        n = table.n_rows
+        feats = np.zeros((n, 3))
+        for j, attr in enumerate(table.attributes):
+            col = table.column_view(attr)
+            st = stats[attr]
+            for i in range(n):
+                value = col[i]
+                feats[i, 0] += st.value_frequency(value)
+                feats[i, 1] += 1.0 if is_missing_placeholder(value) else 0.0
+                feats[i, 2] += st.pattern_frequency(value, level=3)
+        return feats / max(table.n_attributes, 1)
+
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        feats = self._tuple_features(table)
+        n = table.n_rows
+        labeled = self._rng.choice(
+            n, size=min(self.n_labeled_tuples, n), replace=False
+        )
+        tuple_dirty = self.truth.matrix.any(axis=1)
+        x = feats[labeled]
+        y = tuple_dirty[labeled].astype(float)
+        weights = self._fit_logistic(x, y)
+        scores = _sigmoid(feats @ weights[:-1] + weights[-1])
+        if len(set(y.tolist())) < 2:
+            # Degenerate budget: everything looks like the one observed
+            # class; ActiveClean then flags all records when that class
+            # was dirty, nothing otherwise.
+            predicted = np.full(n, bool(y[0] if len(y) else False))
+        else:
+            predicted = scores >= 0.5
+        mask = ErrorMask.zeros(table.attributes, n)
+        mask.matrix[predicted, :] = True
+        return mask
+
+    def _fit_logistic(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Tiny logistic regression via gradient descent."""
+        n, d = x.shape
+        w = np.zeros(d + 1)
+        if n == 0:
+            return w
+        xb = np.hstack([x, np.ones((n, 1))])
+        for _ in range(200):
+            p = _sigmoid(xb @ w)
+            grad = xb.T @ (p - y) / n
+            w -= 0.5 * grad
+        return w
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))

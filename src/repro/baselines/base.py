@@ -1,0 +1,45 @@
+"""Common baseline detector interface.
+
+Every baseline implements :meth:`Detector.detect` returning the same
+:class:`~repro.core.result.DetectionResult` the ZeroED pipeline emits,
+so the benchmark harness treats all methods uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.core.result import DetectionResult, StageInfo
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+
+
+class Detector(abc.ABC):
+    """A cell-level error detector."""
+
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        """Produce the predicted error mask for ``table``."""
+
+    def detect(self, table: Table) -> DetectionResult:
+        """Run detection with timing; token fields stay zero unless the
+        detector uses an LLM (FM_ED overrides to fill them in)."""
+        start = time.perf_counter()
+        mask = self._detect_mask(table)
+        elapsed = time.perf_counter() - start
+        return DetectionResult(
+            mask=mask,
+            dataset=table.name,
+            method=self.name,
+            stages=[StageInfo(name="detect", seconds=elapsed)],
+        )
+
+
+def cells_to_mask(
+    table: Table, cells: list[tuple[int, str]]
+) -> ErrorMask:
+    """Build an :class:`ErrorMask` from flagged (row, attr) pairs."""
+    return ErrorMask.from_cells(table.attributes, table.n_rows, cells)

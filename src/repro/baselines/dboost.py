@@ -1,0 +1,112 @@
+"""dBoost baseline: statistical outlier detection.
+
+Re-implements dBoost's core models (Pit-Claudel et al., 2016) in the
+configuration the cleaning literature uses: per column, a histogram
+model flags values in low-mass bins, and a gaussian model (textbook
+mean/std fit, as in the original — heavy contamination masks moderate
+outliers) flags numerics beyond a z-score threshold.  Purely
+statistical: strong on extreme outliers, reasonable on pattern
+violations (rare formats), blind to rule violations and to
+frequent-but-wrong values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Detector, cells_to_mask
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.mask import ErrorMask
+from repro.data.stats import AttributeStats
+from repro.data.table import Table
+
+
+@dataclass
+class DBoostConfig:
+    """Statistical thresholds (dBoost's tuned parameters)."""
+
+    histogram_threshold: float = 0.002
+    """Values whose relative frequency falls below this are outliers in
+    categorical columns."""
+
+    gaussian_z: float = 3.0
+    """Robust z-score beyond which numerics are outliers."""
+
+    max_categorical_distinct: int = 100
+    """Histogram model applies when distinct count is below this."""
+
+    flag_missing: bool = False
+    """dBoost's statistical models don't treat empties as errors by
+    default (Table I: missing ✗)."""
+
+
+class DBoost(Detector):
+    """Histogram + robust gaussian outlier detection per column."""
+
+    name = "dboost"
+
+    def __init__(self, config: DBoostConfig | None = None) -> None:
+        self.config = config or DBoostConfig()
+
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        flagged: list[tuple[int, str]] = []
+        for attr in table.attributes:
+            stats = AttributeStats.compute(table, attr)
+            flagged.extend(self._detect_column(table, attr, stats))
+        return cells_to_mask(table, flagged)
+
+    def _detect_column(
+        self, table: Table, attr: str, stats: AttributeStats
+    ) -> list[tuple[int, str]]:
+        cfg = self.config
+        col = table.column_view(attr)
+        out: list[tuple[int, str]] = []
+        use_gaussian = stats.numeric.fraction >= 0.8
+        use_histogram = (
+            not use_gaussian
+            and stats.n_distinct() <= cfg.max_categorical_distinct
+        )
+        numbers = None
+        if use_gaussian:
+            parsed = []
+            for v in col:
+                try:
+                    parsed.append(float(v))
+                except ValueError:
+                    parsed.append(np.nan)
+            numbers = np.array(parsed)
+            finite = numbers[np.isfinite(numbers)]
+            # dBoost's gaussian model is the textbook (non-robust)
+            # mean/std fit: heavy contamination inflates the std and
+            # masks all but the most extreme outliers — the weakness
+            # behind its modest recall on outlier-rich columns.
+            mean = float(np.mean(finite)) if finite.size else 0.0
+            scale = float(np.std(finite)) if finite.size else 1.0
+            if scale <= 0:
+                scale = 1.0
+        for i, value in enumerate(col):
+            if is_missing_placeholder(value):
+                if cfg.flag_missing:
+                    out.append((i, attr))
+                continue
+            if use_gaussian:
+                num = numbers[i]
+                if not np.isfinite(num):
+                    out.append((i, attr))  # non-numeric in numeric column
+                elif abs(num - mean) / scale > cfg.gaussian_z:
+                    out.append((i, attr))
+            elif use_histogram:
+                if stats.value_frequency(value) < cfg.histogram_threshold:
+                    out.append((i, attr))
+            else:
+                # High-cardinality text column: fall back to the format
+                # histogram (dBoost's discrete model over value shapes).
+                if (
+                    stats.pattern_frequency(value, level=3)
+                    < cfg.histogram_threshold
+                    and stats.pattern_diversity() < 0.5
+                ):
+                    out.append((i, attr))
+        return out

@@ -1,0 +1,69 @@
+"""FM_ED baseline: per-tuple zero-shot LLM prompting (Narayan et al., 2022).
+
+The "can foundation models wrangle your data?" recipe: serialize each
+tuple and ask the LLM whether it contains errors.  Every tuple costs an
+input prompt, so token consumption grows linearly with table size —
+Fig. 8's contrast with ZeroED.  Detection capability is limited to what
+a context-free model can judge (Table I: missing values and surface
+anomalies).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.base import Detector
+from repro.core.result import DetectionResult, StageInfo
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+from repro.llm.client import LLMClient, LLMRequest
+from repro.llm.prompts import TUPLE_CHECK_PROMPT, serialize_tuple
+
+
+class FMED(Detector):
+    """Tuple-at-a-time LLM error querying."""
+
+    name = "fm_ed"
+
+    def __init__(self, llm: LLMClient) -> None:
+        self.llm = llm
+
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        mask = ErrorMask.zeros(table.attributes, table.n_rows)
+        for i in range(table.n_rows):
+            row = table.row(i)
+            response = self.llm.complete(
+                LLMRequest(
+                    kind="tuple_check",
+                    prompt=TUPLE_CHECK_PROMPT.format(
+                        dataset=table.name, tuple=serialize_tuple(row)
+                    ),
+                    payload={"dataset": table.name, "row": row, "row_id": i},
+                )
+            )
+            verdicts = response.payload or {}
+            for attr, bad in verdicts.items():
+                if bad and attr in table.attributes:
+                    mask.set(i, attr, True)
+        return mask
+
+    def detect(self, table: Table) -> DetectionResult:
+        self.llm.ledger.reset()
+        start = time.perf_counter()
+        mask = self._detect_mask(table)
+        elapsed = time.perf_counter() - start
+        ledger = self.llm.ledger.summary()
+        return DetectionResult(
+            mask=mask,
+            dataset=table.name,
+            method=f"fm_ed[{self.llm.model_name}]",
+            stages=[StageInfo(
+                name="detect",
+                seconds=elapsed,
+                input_tokens=ledger["input_tokens"],
+                output_tokens=ledger["output_tokens"],
+            )],
+            n_llm_requests=ledger["requests"],
+            input_tokens=ledger["input_tokens"],
+            output_tokens=ledger["output_tokens"],
+        )

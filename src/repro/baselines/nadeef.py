@@ -1,0 +1,33 @@
+"""NADEEF baseline: generalized rule-based cleaning (Ebaid et al., 2013).
+
+NADEEF evaluates a user-supplied pack of declarative quality rules —
+functional dependencies (as denial constraints), format patterns,
+domains, ranges and not-null constraints — and reports every violating
+cell.  Precision and recall are entirely determined by the rule pack;
+the packs shipped with each dataset generator mirror the public
+constraint sets the paper reused.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import Detector, cells_to_mask
+from repro.data.mask import ErrorMask
+from repro.data.rules import Rule
+from repro.data.table import Table
+
+
+class Nadeef(Detector):
+    """Union of violations across the configured rule pack."""
+
+    name = "nadeef"
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        flagged: list[tuple[int, str]] = []
+        for rule in self.rules:
+            flagged.extend(rule.violations(table))
+        return cells_to_mask(table, flagged)

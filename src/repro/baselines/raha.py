@@ -1,0 +1,117 @@
+"""Raha baseline: configuration-free error detection (Mahdavi et al., 2019).
+
+Raha runs a battery of cheap detection strategies over every column,
+represents each cell by its strategy-agreement vector, clusters cells
+per column, asks a human to label a small tuple budget, and propagates
+those labels through the clusters.  The ground-truth mask plays the
+human: only the cells of ``n_labeled_tuples`` sampled tuples are
+revealed.  Fig. 6's active-learning curve sweeps that budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Detector
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.mask import ErrorMask
+from repro.data.stats import AttributeStats
+from repro.data.table import Table
+from repro.ml.agglomerative import AgglomerativeClustering
+from repro.ml.rng import RngLike, as_generator, spawn
+
+
+def strategy_matrix(table: Table, attr: str) -> np.ndarray:
+    """Cell × strategy boolean outputs for one column.
+
+    The strategy battery mirrors Raha's generator families: missing
+    markers, value-frequency thresholds, format-frequency thresholds,
+    numeric outlier thresholds, and character-level anomalies.
+    """
+    stats = AttributeStats.compute(table, attr)
+    col = table.column_view(attr)
+    n = len(col)
+    strategies: list[np.ndarray] = []
+
+    def per_value(fn) -> np.ndarray:
+        cache: dict[str, bool] = {}
+        out = np.empty(n, dtype=bool)
+        for i, v in enumerate(col):
+            hit = cache.get(v)
+            if hit is None:
+                hit = bool(fn(v))
+                cache[v] = hit
+            out[i] = hit
+        return out
+
+    strategies.append(per_value(is_missing_placeholder))
+    for theta in (0.001, 0.005, 0.02):
+        strategies.append(per_value(lambda v, t=theta: stats.value_frequency(v) < t))
+    for theta in (0.005, 0.02):
+        strategies.append(
+            per_value(lambda v, t=theta: stats.pattern_frequency(v, 3) < t)
+        )
+    strategies.append(per_value(lambda v: stats.pattern_frequency(v, 2) < 0.01))
+    if stats.numeric.fraction >= 0.5:
+        for z in (2.5, 4.0):
+            strategies.append(
+                per_value(lambda v, zz=z: stats.numeric.is_outlier(v, z=zz))
+            )
+        strategies.append(per_value(lambda v: not _is_number(v)))
+    strategies.append(
+        per_value(lambda v: bool(v) and sum(not c.isalnum() for c in v) / len(v) > 0.3)
+    )
+    strategies.append(per_value(lambda v: v != v.strip()))
+    return np.stack(strategies, axis=1).astype(float)
+
+
+def _is_number(value: str) -> bool:
+    try:
+        float(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+class Raha(Detector):
+    """Strategy ensemble + per-column clustering + label propagation."""
+
+    name = "raha"
+
+    def __init__(
+        self,
+        truth: ErrorMask,
+        n_labeled_tuples: int = 2,
+        seed: RngLike = 0,
+    ) -> None:
+        self.truth = truth
+        self.n_labeled_tuples = n_labeled_tuples
+        self.seed = seed
+
+    def _detect_mask(self, table: Table) -> ErrorMask:
+        rng = as_generator(spawn(self.seed, "raha/tuples"))
+        n = table.n_rows
+        budget = min(self.n_labeled_tuples, n)
+        labeled = (
+            rng.choice(n, size=budget, replace=False) if budget else np.array([], int)
+        )
+        mask = ErrorMask.zeros(table.attributes, n)
+        if budget == 0:
+            return mask
+        n_clusters = min(n, 2 * budget + 2)
+        for attr in table.attributes:
+            features = strategy_matrix(table, attr)
+            clusters = AgglomerativeClustering(
+                n_clusters=n_clusters,
+                seed=spawn(self.seed, f"raha/{attr}"),
+            ).fit_predict(features)
+            truth_col = self.truth.column(attr)
+            col_index = table.attr_index(attr)
+            for cluster_id in np.unique(clusters):
+                members = np.nonzero(clusters == cluster_id)[0]
+                votes = [bool(truth_col[i]) for i in labeled if clusters[i] == cluster_id]
+                if not votes:
+                    continue  # unlabeled cluster defaults to clean
+                if sum(votes) * 2 >= len(votes) and sum(votes) > 0:
+                    mask.matrix[members, col_index] = True
+        return mask

@@ -1,0 +1,27 @@
+"""Benchmark harness: uniform method runners and reporting."""
+
+from repro.bench.harness import (
+    DEFAULT_LABEL_BUDGET,
+    METHODS,
+    MethodRun,
+    build_detector,
+    run_comparison,
+    run_method,
+)
+from repro.bench.repeats import AggregateRun, paired_t_test, run_repeated
+from repro.bench.reporting import format_table, results_dir, write_json
+
+__all__ = [
+    "AggregateRun",
+    "DEFAULT_LABEL_BUDGET",
+    "METHODS",
+    "MethodRun",
+    "build_detector",
+    "format_table",
+    "paired_t_test",
+    "results_dir",
+    "run_comparison",
+    "run_method",
+    "run_repeated",
+    "write_json",
+]

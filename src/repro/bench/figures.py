@@ -1,0 +1,94 @@
+"""Terminal-rendered line/bar charts for figure benchmarks.
+
+The paper's evaluation is half figures; an offline reproduction still
+wants to *see* the curves.  These renderers draw compact ASCII charts
+(one character cell per plot cell) from the same series data the
+benchmarks write to JSON, so ``pytest benchmarks/ -s`` shows the shape
+of Fig. 6-11 directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII line chart.
+
+    Each series gets a marker character; the legend maps markers back
+    to names.  Points are nearest-cell plotted (no interpolation) —
+    enough to read monotonicity, gaps and crossovers.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - row), col
+
+    legend = []
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(f"{' ' * label_width}  {x_axis}")
+    footer = "  ".join(legend)
+    if x_label or y_label:
+        footer += f"   [{y_label} vs {x_label}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart (values >= 0)."""
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{str(name).ljust(label_width)} |{bar} {value:.3g}")
+    return "\n".join(lines)

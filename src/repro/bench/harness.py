@@ -1,0 +1,136 @@
+"""Benchmark harness: run any method on any dataset uniformly.
+
+Maps method names to configured detectors (baselines get the dataset's
+rule pack / KB / label budget; ZeroED gets its config), runs detection,
+and scores against ground truth.  All experiment drivers in
+``benchmarks/`` build on :func:`run_method` and :func:`run_comparison`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import ActiveClean, DBoost, FMED, Katara, Nadeef, Raha
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.core.result import DetectionResult
+from repro.data.generators.base import DatasetSpec
+from repro.data.injector import InjectionResult
+from repro.data.registry import get_dataset
+from repro.llm.profiles import get_profile
+from repro.llm.simulated.engine import SimulatedLLM
+from repro.ml.metrics import PRF
+
+METHODS: tuple[str, ...] = (
+    "dboost", "nadeef", "katara", "activeclean", "raha", "fm_ed", "zeroed",
+)
+
+#: Manual-label budget given to label-based baselines (paper §IV-A:
+#: "2 labeled tuples per dataset for ED methods requiring manual labels").
+DEFAULT_LABEL_BUDGET = 2
+
+
+@dataclass
+class MethodRun:
+    """One (method, dataset) evaluation."""
+
+    method: str
+    dataset: str
+    prf: PRF
+    seconds: float
+    input_tokens: int = 0
+    output_tokens: int = 0
+    result: DetectionResult | None = field(default=None, repr=False)
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "precision": round(self.prf.precision, 3),
+            "recall": round(self.prf.recall, 3),
+            "f1": round(self.prf.f1, 3),
+            "seconds": round(self.seconds, 2),
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+        }
+
+
+def build_detector(
+    method: str,
+    data: InjectionResult,
+    spec: DatasetSpec,
+    seed: int = 0,
+    llm_model: str = "qwen2.5-72b",
+    zeroed_config: ZeroEDConfig | None = None,
+    label_budget: int = DEFAULT_LABEL_BUDGET,
+):
+    """Instantiate a configured detector for one dataset."""
+    if method == "dboost":
+        return DBoost()
+    if method == "nadeef":
+        return Nadeef(spec.rules)
+    if method == "katara":
+        return Katara(spec.kb)
+    if method == "activeclean":
+        return ActiveClean(data.mask, n_labeled_tuples=label_budget, seed=seed)
+    if method == "raha":
+        return Raha(data.mask, n_labeled_tuples=label_budget, seed=seed)
+    if method == "fm_ed":
+        return FMED(SimulatedLLM(profile=get_profile(llm_model), seed=seed))
+    if method == "zeroed":
+        config = zeroed_config or ZeroEDConfig(seed=seed, llm_model=llm_model)
+        return ZeroED(config=config)
+    raise ValueError(f"unknown method {method!r}; one of {METHODS}")
+
+
+def run_method(
+    method: str,
+    dataset: str,
+    n_rows: int | None = None,
+    seed: int = 0,
+    llm_model: str = "qwen2.5-72b",
+    zeroed_config: ZeroEDConfig | None = None,
+    label_budget: int = DEFAULT_LABEL_BUDGET,
+    data: InjectionResult | None = None,
+) -> MethodRun:
+    """Generate (or reuse) a dataset, run one method, score it."""
+    spec = get_dataset(dataset)
+    if data is None:
+        data = spec.make(n_rows=n_rows, seed=seed)
+    detector = build_detector(
+        method, data, spec,
+        seed=seed, llm_model=llm_model,
+        zeroed_config=zeroed_config, label_budget=label_budget,
+    )
+    result = detector.detect(data.dirty)
+    return MethodRun(
+        method=method,
+        dataset=dataset,
+        prf=result.score(data.mask),
+        seconds=result.total_seconds,
+        input_tokens=result.input_tokens,
+        output_tokens=result.output_tokens,
+        result=result,
+    )
+
+
+def run_comparison(
+    datasets: list[str],
+    methods: list[str] | None = None,
+    n_rows: int | None = None,
+    seed: int = 0,
+    **kwargs,
+) -> list[MethodRun]:
+    """Cross product of methods × datasets (Table III's workload)."""
+    methods = list(methods or METHODS)
+    runs = []
+    for dataset in datasets:
+        spec = get_dataset(dataset)
+        data = spec.make(n_rows=n_rows, seed=seed)
+        for method in methods:
+            runs.append(
+                run_method(
+                    method, dataset, seed=seed, data=data, **kwargs
+                )
+            )
+    return runs

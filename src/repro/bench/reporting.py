@@ -1,0 +1,48 @@
+"""Tabular reporting helpers for benchmark output.
+
+Prints paper-style rows (method × dataset with Prec/Rec/F1) and writes
+JSON artifacts so EXPERIMENTS.md entries can reference raw numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Fixed-width text table from a list of row dicts."""
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) if rows
+        else len(str(c))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            "  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def write_json(path: str | Path, payload) -> Path:
+    """Write a JSON artifact, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def results_dir() -> Path:
+    """Default artifact directory (repo-level ``results/``)."""
+    return Path(__file__).resolve().parents[3] / "results"

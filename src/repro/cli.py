@@ -1,0 +1,172 @@
+"""Command-line interface for the repro package.
+
+Subcommands::
+
+    repro datasets                       list benchmark datasets
+    repro generate beers out/ [--rows N] write dirty/clean/mask to disk
+    repro detect beers [--method zeroed] run a detector, print P/R/F1
+    repro detect-csv dirty.csv           detect on your own CSV
+    repro compare [--datasets a,b] ...   Table III-style grid
+    repro repair beers                   detect then suggest repairs
+
+Run ``python -m repro <command> -h`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import METHODS, format_table, run_method
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.core.repair import RepairSuggester
+from repro.data.csvio import read_csv
+from repro.data.maskio import write_dataset, write_mask
+from repro.data.registry import COMPARISON_DATASETS, dataset_names, get_dataset
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=None,
+                        help="row count (default: Table II size)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZeroED reproduction: zero-shot tabular error detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets")
+
+    p = sub.add_parser("generate", help="write a dataset to a directory")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("out", help="output directory")
+    _add_common(p)
+
+    p = sub.add_parser("detect", help="run a detector on a benchmark")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("--method", default="zeroed", choices=METHODS)
+    p.add_argument("--llm", default="qwen2.5-72b", help="LLM profile")
+    p.add_argument("--label-rate", type=float, default=0.05)
+    p.add_argument("--mask-out", default=None,
+                   help="write the predicted mask JSON here")
+    _add_common(p)
+
+    p = sub.add_parser("detect-csv", help="run ZeroED on your own CSV")
+    p.add_argument("csv", help="path to a dirty CSV file")
+    p.add_argument("--label-rate", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mask-out", default=None)
+
+    p = sub.add_parser("compare", help="method x dataset comparison grid")
+    p.add_argument("--datasets", default=",".join(COMPARISON_DATASETS))
+    p.add_argument("--methods", default=",".join(METHODS))
+    _add_common(p)
+
+    p = sub.add_parser("repair", help="detect then suggest repairs")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("--limit", type=int, default=20,
+                   help="show at most this many suggestions")
+    _add_common(p)
+    return parser
+
+
+def cmd_datasets(_args) -> int:
+    for name in dataset_names():
+        spec = get_dataset(name)
+        print(f"{name:12s} {spec.default_rows:>7d} rows x "
+              f"{len(spec.make(n_rows=2, seed=0).dirty.attributes)} attrs")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    data = get_dataset(args.dataset).make(n_rows=args.rows, seed=args.seed)
+    out = write_dataset(data, args.out)
+    print(f"wrote {data.dirty.n_rows} rows "
+          f"({data.mask.error_count()} error cells) to {out}/")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    config = ZeroEDConfig(
+        seed=args.seed, llm_model=args.llm, label_rate=args.label_rate
+    )
+    run = run_method(
+        args.method, args.dataset, n_rows=args.rows, seed=args.seed,
+        llm_model=args.llm, zeroed_config=config,
+    )
+    print(f"{args.method} on {args.dataset}: {run.prf} "
+          f"({run.seconds:.1f}s, tokens {run.input_tokens}/{run.output_tokens})")
+    if args.mask_out and run.result is not None:
+        write_mask(run.result.mask, args.mask_out)
+        print(f"mask written to {args.mask_out}")
+    return 0
+
+
+def cmd_detect_csv(args) -> int:
+    table = read_csv(args.csv)
+    config = ZeroEDConfig(seed=args.seed, label_rate=args.label_rate)
+    result = ZeroED(config).detect(table)
+    n = result.mask.error_count()
+    print(f"flagged {n} cells "
+          f"({100 * result.mask.error_rate():.2f}% of {table.shape})")
+    for i, attr in result.mask.error_cells()[:20]:
+        print(f"  ({i}, {attr}) -> {table.cell(i, attr)!r}")
+    if args.mask_out:
+        write_mask(result.mask, args.mask_out)
+        print(f"mask written to {args.mask_out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for dataset in args.datasets.split(","):
+        for method in args.methods.split(","):
+            run = run_method(
+                method.strip(), dataset.strip(), n_rows=args.rows,
+                seed=args.seed,
+            )
+            rows.append(run.as_row())
+    print(format_table(
+        rows, ["method", "dataset", "precision", "recall", "f1", "seconds"]
+    ))
+    return 0
+
+
+def cmd_repair(args) -> int:
+    data = get_dataset(args.dataset).make(n_rows=args.rows, seed=args.seed)
+    result = ZeroED(seed=args.seed).detect(data.dirty)
+    suggester = RepairSuggester(data.dirty)
+    suggestions = suggester.suggest(result.mask)
+    correct = sum(
+        1 for s in suggestions
+        if s.suggestion == data.clean.cell(s.row, s.attr)
+    )
+    print(f"{len(suggestions)} suggestions for "
+          f"{result.mask.error_count()} flagged cells; "
+          f"{correct} match the ground truth exactly")
+    for s in suggestions[: args.limit]:
+        print(f"  {s}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "generate": cmd_generate,
+    "detect": cmd_detect,
+    "detect-csv": cmd_detect_csv,
+    "compare": cmd_compare,
+    "repair": cmd_repair,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Configuration for the ZeroED pipeline.
+
+Defaults follow the paper's implementation details (§IV-A): label 5% of
+the data, cluster count = data size × label rate, 2 correlated
+attributes, batches of 20 tuples, a two-layer MLP, Qwen2.5-72b as the
+default LLM.  The four ablation switches correspond to Table IV's rows
+(w/o Guid. / Crit. / Corr. / Veri.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ZeroEDConfig:
+    """All tunables of the ZeroED pipeline."""
+
+    # --- data sampling and labeling (§III-C) ---
+    label_rate: float = 0.05
+    """Fraction of values per attribute the LLM labels (= cluster count
+    / column size)."""
+
+    batch_size: int = 20
+    """Tuples per LLM labeling batch."""
+
+    clustering: str = "kmeans"
+    """Sampling strategy: 'kmeans', 'agglomerative', or 'random'
+    (Table VI)."""
+
+    # --- feature representation (§III-B) ---
+    n_correlated: int = 2
+    """Top-k NMI-correlated attributes whose base features are
+    concatenated (Fig. 10 sweeps 1-5)."""
+
+    embedding_dim: int = 32
+    """Dimensionality of the semantic (subword-hash) embedding block."""
+
+    use_criteria_features: bool = True
+    """Ablation switch: error reason-aware criteria features
+    (w/o Crit.)."""
+
+    use_correlated_features: bool = True
+    """Ablation switch: correlated-attribute feature concatenation
+    (w/o Corr.)."""
+
+    use_semantic_features: bool = True
+    """Extension switch: semantic embedding block (feature-block
+    ablation beyond the paper's Table IV)."""
+
+    use_statistical_features: bool = True
+    """Extension switch: value/vicinity/pattern frequency block."""
+
+    criteria_sample_size: int = 40
+    """Random tuples serialized into the criteria-reasoning prompt."""
+
+    # --- guidelines and labeling (§III-C) ---
+    use_guidelines: bool = True
+    """Ablation switch: two-step guideline generation (w/o Guid.)."""
+
+    # --- training data construction (§III-D, Algorithm 1) ---
+    use_verification: bool = True
+    """Ablation switch: mutual verification + augmentation (w/o
+    Veri.)."""
+
+    propagate_labels: bool = True
+    """In-cluster label propagation (separable extension switch)."""
+
+    criteria_accuracy_threshold: float = 0.5
+    """Algorithm 1 line 11: minimum accuracy on right-labeled data for a
+    criterion to survive."""
+
+    data_pass_threshold: float = 0.9
+    """Algorithm 1 line 17: minimum criteria pass-rate for a propagated
+    right-label to survive."""
+
+    data_verify_accuracy: float = 0.85
+    """Only criteria at least this accurate on right-labeled data may
+    veto propagated right labels.  Below it, a criterion is still kept
+    as a feature (Algorithm 1's 0.5 bar) but is too noisy to delete
+    training rows — deletion by a wrong criterion creates blind spots
+    the detector turns into false positives."""
+
+    augment_ratio: float = 1.0
+    """Target (augmented errors) / (needed to balance classes); 1.0
+    balances the training set."""
+
+    # --- detector (§III-D) ---
+    mlp_hidden: int = 64
+    mlp_epochs: int = 60
+    mlp_lr: float = 3e-3
+    decision_threshold: float = 0.5
+
+    # --- LLM ---
+    llm_model: str = "qwen2.5-72b"
+    """Profile name for the simulated backend (Table V)."""
+
+    # --- misc ---
+    seed: int = 0
+    min_cluster_count: int = 4
+    max_cluster_count: int = 500
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.label_rate <= 1.0:
+            raise ConfigError(f"label_rate {self.label_rate} outside (0, 1]")
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.n_correlated < 0:
+            raise ConfigError("n_correlated must be >= 0")
+        if self.clustering not in ("kmeans", "agglomerative", "random"):
+            raise ConfigError(
+                f"clustering must be kmeans/agglomerative/random, "
+                f"got {self.clustering!r}"
+            )
+        for name in ("criteria_accuracy_threshold", "data_pass_threshold"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name}={value} outside [0, 1]")
+
+    def clusters_for(self, n_rows: int) -> int:
+        """Cluster count for one attribute: data size × label rate."""
+        k = int(round(n_rows * self.label_rate))
+        return max(self.min_cluster_count, min(k, self.max_cluster_count, n_rows))
+
+    def ablated(self, component: str) -> "ZeroEDConfig":
+        """A copy with one paper ablation applied.
+
+        ``component`` is one of ``guid``, ``crit``, ``corr``, ``veri``
+        (Table IV's rows).
+        """
+        import dataclasses
+
+        switches = {
+            "guid": {"use_guidelines": False},
+            "crit": {"use_criteria_features": False},
+            "corr": {"use_correlated_features": False},
+            "veri": {"use_verification": False},
+        }
+        if component not in switches:
+            raise ConfigError(
+                f"unknown ablation {component!r}; one of {sorted(switches)}"
+            )
+        return dataclasses.replace(self, **switches[component])

@@ -1,0 +1,40 @@
+"""ZeroED core: the paper's primary contribution."""
+
+from repro.core.correlation import correlated_attributes, nmi_matrix
+from repro.core.detector import ErrorDetector
+from repro.core.featurize import AttributeFeaturizer, FeatureSpace
+from repro.core.guidelines import GuidelineResult, build_guideline
+from repro.core.labeling import label_representatives
+from repro.core.pipeline import ZeroED
+from repro.core.repair import RepairSuggester, RepairSuggestion, apply_repairs
+from repro.core.result import DetectionResult, StageInfo
+from repro.core.sampling import SamplingResult, sample_representatives
+from repro.core.training_data import (
+    AttributeTrainingData,
+    construct_training_data,
+    propagate_labels,
+    refine_criteria,
+)
+
+__all__ = [
+    "AttributeFeaturizer",
+    "AttributeTrainingData",
+    "DetectionResult",
+    "ErrorDetector",
+    "FeatureSpace",
+    "GuidelineResult",
+    "RepairSuggester",
+    "RepairSuggestion",
+    "SamplingResult",
+    "StageInfo",
+    "ZeroED",
+    "apply_repairs",
+    "build_guideline",
+    "construct_training_data",
+    "correlated_attributes",
+    "label_representatives",
+    "nmi_matrix",
+    "propagate_labels",
+    "refine_criteria",
+    "sample_representatives",
+]

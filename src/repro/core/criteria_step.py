@@ -1,0 +1,53 @@
+"""Initial error-checking criteria reasoning (paper §III-B).
+
+For each attribute, randomly sampled tuples are serialized into the
+criteria-reasoning prompt; the LLM returns executable checking
+functions which are compiled into :class:`~repro.criteria.Criterion`
+objects and drive the binary criteria feature block.
+"""
+
+from __future__ import annotations
+
+from repro.config import ZeroEDConfig
+from repro.criteria import Criterion, compile_criteria
+from repro.data.table import Table
+from repro.llm.client import LLMClient, LLMRequest
+from repro.llm.prompts import CRITERIA_PROMPT, ERROR_DESCRIPTIONS, serialize_rows
+from repro.ml.rng import spawn
+
+
+def generate_initial_criteria(
+    llm: LLMClient,
+    table: Table,
+    correlated: dict[str, list[str]],
+    config: ZeroEDConfig,
+) -> dict[str, list[Criterion]]:
+    """LLM-derived criteria for every attribute of ``table``."""
+    rng = spawn(config.seed, "criteria/sample")
+    n = table.n_rows
+    sample_size = min(config.criteria_sample_size, n)
+    out: dict[str, list[Criterion]] = {}
+    for attr in table.attributes:
+        idx = rng.choice(n, size=sample_size, replace=False)
+        rows = [table.row(int(i)) for i in idx]
+        prompt = CRITERIA_PROMPT.format(
+            attr=attr,
+            dataset=table.name,
+            samples=serialize_rows(rows),
+            error_descriptions=ERROR_DESCRIPTIONS,
+            correlated=correlated.get(attr, []),
+        )
+        response = llm.complete(
+            LLMRequest(
+                kind="criteria",
+                prompt=prompt,
+                payload={
+                    "dataset": table.name,
+                    "attr": attr,
+                    "sample_rows": rows,
+                    "correlated": correlated.get(attr, []),
+                },
+            )
+        )
+        out[attr] = compile_criteria(attr, response.payload or [])
+    return out

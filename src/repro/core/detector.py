@@ -1,0 +1,90 @@
+"""Detector training and prediction (paper §III-D, final step).
+
+One two-layer MLP per attribute, trained on the constructed training
+data and applied to every cell of that attribute.  Attributes whose
+training data is degenerate (empty, or single-class) fall back to a
+constant prediction of that class — the honest behaviour when the LLM
+labeled everything identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ZeroEDConfig
+from repro.core.featurize import FeatureSpace
+from repro.core.training_data import AttributeTrainingData
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.ml.mlp import MLPClassifier
+from repro.ml.rng import spawn
+from repro.ml.scaler import StandardScaler
+
+
+@dataclass
+class _AttributeModel:
+    scaler: StandardScaler | None
+    mlp: MLPClassifier | None
+    constant: bool | None  # fallback constant prediction
+
+
+class ErrorDetector:
+    """Per-attribute MLP ensemble over unified features."""
+
+    def __init__(self, config: ZeroEDConfig) -> None:
+        self.config = config
+        self._models: dict[str, _AttributeModel] = {}
+
+    def fit(
+        self,
+        training: dict[str, AttributeTrainingData],
+        feature_space: FeatureSpace,
+    ) -> "ErrorDetector":
+        for attr, data in training.items():
+            self._models[attr] = self._fit_attribute(attr, data)
+        return self
+
+    def _fit_attribute(
+        self, attr: str, data: AttributeTrainingData
+    ) -> _AttributeModel:
+        y = data.labels
+        if len(y) == 0:
+            return _AttributeModel(scaler=None, mlp=None, constant=False)
+        classes = set(np.unique(y).tolist())
+        if len(classes) == 1:
+            return _AttributeModel(
+                scaler=None, mlp=None, constant=bool(classes.pop())
+            )
+        scaler = StandardScaler()
+        x = scaler.fit_transform(data.features)
+        mlp = MLPClassifier(
+            hidden=self.config.mlp_hidden,
+            epochs=self.config.mlp_epochs,
+            lr=self.config.mlp_lr,
+            seed=spawn(self.config.seed, f"mlp/{attr}"),
+        )
+        mlp.fit(x, y)
+        return _AttributeModel(scaler=scaler, mlp=mlp, constant=None)
+
+    def predict(self, table: Table, feature_space: FeatureSpace) -> ErrorMask:
+        """Classify every cell of ``table`` as clean (False) or dirty."""
+        if not self._models:
+            raise NotFittedError("ErrorDetector.predict called before fit")
+        mask = ErrorMask.zeros(table.attributes, table.n_rows)
+        for attr in table.attributes:
+            model = self._models.get(attr)
+            if model is None:
+                continue
+            if model.constant is not None:
+                if model.constant:
+                    mask.matrix[:, table.attr_index(attr)] = True
+                continue
+            x = model.scaler.transform(feature_space.unified_matrix(attr))
+            proba = model.mlp.predict_proba(x)
+            mask.matrix[:, table.attr_index(attr)] = (
+                proba >= self.config.decision_threshold
+            )
+        return mask

@@ -1,0 +1,243 @@
+"""Feature representation with criteria reasoning (paper §III-B).
+
+Each cell value gets a *base* feature vector with three blocks:
+
+* **statistics** — value frequency, the three pattern-generalisation
+  frequencies (L1/L2/L3), and vicinity frequencies P(value | correlated
+  attribute's value) for each correlated attribute;
+* **semantic** — a subword-hash embedding (FastText substitute);
+* **criteria** — one binary feature per LLM-generated error-checking
+  criterion, the value's adherence after execution.
+
+The *unified* representation concatenates a cell's base vector with the
+base vectors of its top-k NMI-correlated attributes' values in the same
+tuple.  Ablation switches on :class:`~repro.config.ZeroEDConfig`
+disable individual blocks (Table IV's w/o Crit. / w/o Corr., plus
+extension switches for the other blocks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.config import ZeroEDConfig
+from repro.criteria import Criterion
+from repro.data.stats import AttributeStats
+from repro.data.table import Table
+from repro.text.embeddings import SubwordHashEmbedding
+from repro.text.patterns import generalize
+
+
+class AttributeFeaturizer:
+    """Base-feature computation for one attribute.
+
+    Built from the dirty table itself (frequencies, patterns) plus the
+    compiled criteria; can featurise both existing cells (fast path,
+    whole-column) and ad-hoc values (augmented training examples).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attr: str,
+        stats: AttributeStats,
+        correlated: list[str],
+        embedding: SubwordHashEmbedding | None,
+        criteria: list[Criterion],
+        config: ZeroEDConfig,
+    ) -> None:
+        self.attr = attr
+        self.stats = stats
+        self.correlated = list(correlated)
+        self.embedding = embedding
+        self.criteria = list(criteria)
+        self.config = config
+        self._n_rows = table.n_rows
+        # Pattern frequency tables at the three generalisation levels.
+        self._pattern_counts: list[Counter] = []
+        for level in (1, 2, 3):
+            counter: Counter = Counter()
+            for value, count in stats.value_counts.items():
+                counter[generalize(value, level)] += count
+            self._pattern_counts.append(counter)
+        # Vicinity co-occurrence: for each correlated attribute q,
+        # count(v_attr | v_q) and count(v_q).
+        self._vicinity: dict[str, tuple[Counter, Counter]] = {}
+        if config.use_statistical_features and config.use_correlated_features:
+            own_col = table.column_view(attr)
+            for q in self.correlated:
+                pair_counts: Counter = Counter()
+                lhs_counts: Counter = Counter()
+                for vq, vj in zip(table.column_view(q), own_col):
+                    pair_counts[(vq, vj)] += 1
+                    lhs_counts[vq] += 1
+                self._vicinity[q] = (pair_counts, lhs_counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def base_dim(self) -> int:
+        dim = 0
+        if self.config.use_statistical_features:
+            dim += 4 + len(self._vicinity)
+        if self.config.use_semantic_features and self.embedding is not None:
+            dim += self.embedding.dim
+        if self.config.use_criteria_features:
+            dim += len(self.criteria)
+        # With every block disabled, base_matrix emits a single zero
+        # column so downstream shapes stay valid; mirror that here.
+        return max(dim, 1) if dim == 0 else dim
+
+    def set_criteria(self, criteria: list[Criterion]) -> None:
+        """Swap in refined criteria (Algorithm 1's 'update criteria feat')."""
+        self.criteria = list(criteria)
+
+    # ------------------------------------------------------------------
+    def base_matrix(self, table: Table) -> np.ndarray:
+        """Base features for every row of ``table``'s ``attr`` column."""
+        n = table.n_rows
+        blocks: list[np.ndarray] = []
+        col = table.column_view(self.attr)
+        if self.config.use_statistical_features:
+            stat = np.empty((n, 4 + len(self._vicinity)))
+            freq_cache: dict[str, tuple[float, float, float, float]] = {}
+            for i, value in enumerate(col):
+                cached = freq_cache.get(value)
+                if cached is None:
+                    cached = self._frequency_features(value)
+                    freq_cache[value] = cached
+                stat[i, :4] = cached
+            for k, q in enumerate(self._vicinity):
+                pair_counts, lhs_counts = self._vicinity[q]
+                q_col = table.column_view(q)
+                for i in range(n):
+                    lhs = q_col[i]
+                    denom = lhs_counts.get(lhs, 0)
+                    stat[i, 4 + k] = (
+                        pair_counts.get((lhs, col[i]), 0) / denom if denom else 0.0
+                    )
+            blocks.append(stat)
+        if self.config.use_semantic_features and self.embedding is not None:
+            blocks.append(self.embedding.embed_many(list(col)))
+        if self.config.use_criteria_features:
+            if self.criteria:
+                crit = np.stack(
+                    [c.evaluate_column(table) for c in self.criteria], axis=1
+                ).astype(float)
+            else:
+                crit = np.zeros((n, 0))
+            blocks.append(crit)
+        if not blocks:
+            return np.zeros((n, 1))
+        return np.hstack(blocks)
+
+    def base_vector(self, value: str, row: dict[str, str]) -> np.ndarray:
+        """Base features for an ad-hoc value in a row context."""
+        blocks: list[np.ndarray] = []
+        if self.config.use_statistical_features:
+            stat = list(self._frequency_features(value))
+            for q in self._vicinity:
+                pair_counts, lhs_counts = self._vicinity[q]
+                lhs = row.get(q, "")
+                denom = lhs_counts.get(lhs, 0)
+                stat.append(
+                    pair_counts.get((lhs, value), 0) / denom if denom else 0.0
+                )
+            blocks.append(np.array(stat))
+        if self.config.use_semantic_features and self.embedding is not None:
+            blocks.append(self.embedding.embed(value))
+        if self.config.use_criteria_features:
+            context = dict(row)
+            context[self.attr] = value
+            blocks.append(
+                np.array([float(c.check(context)) for c in self.criteria])
+            )
+        if not blocks:
+            return np.zeros(1)
+        return np.concatenate(blocks)
+
+    def _frequency_features(
+        self, value: str
+    ) -> tuple[float, float, float, float]:
+        n = max(self._n_rows, 1)
+        value_freq = self.stats.value_counts.get(value, 0) / n
+        pattern_freqs = tuple(
+            self._pattern_counts[level - 1].get(generalize(value, level), 0) / n
+            for level in (1, 2, 3)
+        )
+        return (value_freq, *pattern_freqs)
+
+
+class FeatureSpace:
+    """Unified feature representations for every attribute of a table."""
+
+    def __init__(
+        self,
+        table: Table,
+        stats: dict[str, AttributeStats],
+        correlated: dict[str, list[str]],
+        criteria: dict[str, list[Criterion]],
+        config: ZeroEDConfig,
+    ) -> None:
+        self.table = table
+        self.config = config
+        self.correlated = correlated
+        self.embedding = (
+            SubwordHashEmbedding(dim=config.embedding_dim, seed=config.seed)
+            if config.use_semantic_features
+            else None
+        )
+        self.featurizers: dict[str, AttributeFeaturizer] = {
+            attr: AttributeFeaturizer(
+                table=table,
+                attr=attr,
+                stats=stats[attr],
+                correlated=correlated.get(attr, []),
+                embedding=self.embedding,
+                criteria=criteria.get(attr, []),
+                config=config,
+            )
+            for attr in table.attributes
+        }
+        self._base_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def base_matrix(self, attr: str) -> np.ndarray:
+        cached = self._base_cache.get(attr)
+        if cached is None:
+            cached = self.featurizers[attr].base_matrix(self.table)
+            self._base_cache[attr] = cached
+        return cached
+
+    def invalidate(self, attr: str) -> None:
+        """Drop the cached base matrix (after criteria refinement)."""
+        self._base_cache.pop(attr, None)
+
+    def unified_matrix(self, attr: str) -> np.ndarray:
+        """``f_base(cell) ⊕ f_base(correlated cells)`` for every row."""
+        parts = [self.base_matrix(attr)]
+        if self.config.use_correlated_features:
+            for q in self.correlated.get(attr, []):
+                parts.append(self.base_matrix(q))
+        return np.hstack(parts)
+
+    def unified_vector(
+        self, attr: str, value: str, row: dict[str, str], row_index: int | None
+    ) -> np.ndarray:
+        """Unified features for an ad-hoc value within a row context.
+
+        For the correlated blocks, uses the row's existing base features
+        when ``row_index`` is known (fast), otherwise recomputes from
+        the row dict.
+        """
+        parts = [self.featurizers[attr].base_vector(value, row)]
+        if self.config.use_correlated_features:
+            for q in self.correlated.get(attr, []):
+                if row_index is not None:
+                    parts.append(self.base_matrix(q)[row_index])
+                else:
+                    parts.append(
+                        self.featurizers[q].base_vector(row.get(q, ""), row)
+                    )
+        return np.concatenate(parts)

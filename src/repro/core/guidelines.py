@@ -1,0 +1,101 @@
+"""Two-step ED guideline generation (paper §III-C, Fig. 5).
+
+Step 1: the LLM writes distribution-analysis function sources; we
+compile them in the criteria sandbox and execute them over the *whole*
+table, producing analysis text that is not limited by prompt length.
+Step 2: the analysis results plus representative examples are fed back
+to the LLM, which synthesises a detailed attribute-specific guideline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.criteria import compile_function
+from repro.data.table import Table
+from repro.errors import CriteriaError
+from repro.llm.client import LLMClient, LLMRequest
+from repro.llm.prompts import (
+    ANALYSIS_FUNCTIONS_PROMPT,
+    ERROR_DESCRIPTIONS,
+    GUIDELINE_PROMPT,
+    serialize_rows,
+)
+
+
+@dataclass
+class GuidelineResult:
+    """The guideline for one attribute plus its provenance."""
+
+    attr: str
+    text: str
+    analysis_text: str
+    n_functions: int = 0
+    failed_functions: list[str] = field(default_factory=list)
+
+
+def run_analysis_functions(
+    table: Table, attr: str, specs: list[dict]
+) -> tuple[str, int, list[str]]:
+    """Compile and execute analysis-function sources over ``table``."""
+    sections: list[str] = []
+    failed: list[str] = []
+    for i, spec in enumerate(specs, start=1):
+        name = spec.get("name", f"distr_analysis_{i}")
+        try:
+            fn = compile_function(spec["source"], name)
+            result = str(fn(table, attr))
+        except (CriteriaError, Exception) as exc:  # noqa: BLE001
+            failed.append(f"{name}: {exc}")
+            continue
+        sections.append(f"**Analyzing results {i} ({name}):**\n{result}")
+    return "\n\n".join(sections), len(specs) - len(failed), failed
+
+
+def build_guideline(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    example_rows: list[dict[str, str]],
+) -> GuidelineResult:
+    """Generate the ED guideline for ``attr`` via the two-step process."""
+    example_block = serialize_rows(example_rows)
+    analysis_prompt = ANALYSIS_FUNCTIONS_PROMPT.format(
+        attr=attr, dataset=table.name, samples=example_block
+    )
+    analysis_response = llm.complete(
+        LLMRequest(
+            kind="analysis_functions",
+            prompt=analysis_prompt,
+            payload={"dataset": table.name, "attr": attr},
+        )
+    )
+    analysis_text, n_ok, failed = run_analysis_functions(
+        table, attr, analysis_response.payload or []
+    )
+    guideline_prompt = GUIDELINE_PROMPT.format(
+        attr=attr,
+        dataset=table.name,
+        analysis=analysis_text,
+        samples=example_block,
+        error_descriptions=ERROR_DESCRIPTIONS,
+    )
+    guideline_response = llm.complete(
+        LLMRequest(
+            kind="guideline",
+            prompt=guideline_prompt,
+            payload={
+                "dataset": table.name,
+                "attr": attr,
+                "analysis_text": analysis_text,
+                "example_block": example_block,
+            },
+        )
+    )
+    return GuidelineResult(
+        attr=attr,
+        text=guideline_response.text,
+        analysis_text=analysis_text,
+        n_functions=n_ok,
+        failed_functions=failed,
+    )

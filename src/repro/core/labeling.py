@@ -1,0 +1,75 @@
+"""Context-aware batched LLM labeling (paper §III-C).
+
+The representative values sampled per attribute are labeled in batches
+of ``config.batch_size``; each batch prompt embeds the attribute's ED
+guideline and the values with their correlated-attribute context.  The
+structured payload mirrors the prompt so the simulated backend reasons
+over the same information a real model would read.
+"""
+
+from __future__ import annotations
+
+from repro.config import ZeroEDConfig
+from repro.data.stats import AttributeStats, PairStats
+from repro.data.table import Table
+from repro.llm.client import LLMClient, LLMRequest
+from repro.llm.prompts import LABEL_BATCH_PROMPT, serialize_tuple
+
+
+def label_representatives(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    sampled_indices: list[int],
+    guideline_text: str,
+    stats: AttributeStats,
+    pair_stats: dict[str, PairStats],
+    correlated: list[str],
+    config: ZeroEDConfig,
+) -> dict[int, int]:
+    """Label the sampled rows' ``attr`` values; returns row -> 0/1."""
+    labels: dict[int, int] = {}
+    guided = bool(guideline_text)
+    col = table.column_view(attr)
+    for batch_id, start in enumerate(
+        range(0, len(sampled_indices), config.batch_size)
+    ):
+        batch = sampled_indices[start : start + config.batch_size]
+        values = [col[i] for i in batch]
+        contexts = []
+        batch_lines = []
+        for i in batch:
+            context = {q: table.cell(i, q) for q in correlated}
+            contexts.append(context)
+            shown = dict({attr: col[i]}, **context)
+            batch_lines.append(serialize_tuple(shown))
+        prompt = LABEL_BATCH_PROMPT.format(
+            attr=attr,
+            dataset=table.name,
+            guideline=guideline_text or "(no guideline available)",
+            batch="\n".join(batch_lines),
+        )
+        response = llm.complete(
+            LLMRequest(
+                kind="label_batch",
+                prompt=prompt,
+                payload={
+                    "dataset": table.name,
+                    "attr": attr,
+                    "batch_id": batch_id,
+                    "values": values,
+                    "contexts": contexts,
+                    "stats": stats,
+                    "pair_stats": pair_stats,
+                    "guided": guided,
+                },
+            )
+        )
+        batch_labels = list(response.payload or [])
+        # A real model occasionally returns short answers; missing
+        # labels default to clean (the majority class).
+        while len(batch_labels) < len(batch):
+            batch_labels.append(0)
+        for i, label in zip(batch, batch_labels):
+            labels[i] = int(label)
+    return labels

@@ -1,0 +1,244 @@
+"""The ZeroED pipeline facade (paper §III).
+
+Orchestrates the four steps — feature representation, representative
+sampling + holistic LLM labeling, training-data construction with
+mutual verification, and detector training/prediction — with per-stage
+timing and token accounting.  Every stochastic component derives from
+``config.seed``; two runs with the same config, data and LLM backend
+produce identical masks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.config import ZeroEDConfig
+from repro.core.correlation import correlated_attributes
+from repro.core.criteria_step import generate_initial_criteria
+from repro.core.detector import ErrorDetector
+from repro.core.featurize import FeatureSpace
+from repro.core.guidelines import build_guideline
+from repro.core.labeling import label_representatives
+from repro.core.result import DetectionResult, StageInfo
+from repro.core.sampling import SamplingResult, sample_representatives
+from repro.core.training_data import assemble_training_data, verify_attribute
+from repro.data.stats import PairStats, compute_all_stats
+from repro.data.table import Table
+from repro.llm.client import LLMClient
+from repro.llm.profiles import get_profile
+from repro.ml.rng import spawn
+
+
+class ZeroED:
+    """Hybrid zero-shot error detector.
+
+    Parameters
+    ----------
+    config:
+        Full pipeline configuration; defaults to the paper's settings.
+    llm:
+        An :class:`~repro.llm.client.LLMClient`.  Defaults to the
+        simulated backend with the profile named by
+        ``config.llm_model``.
+    **overrides:
+        Convenience keyword overrides applied to the config, e.g.
+        ``ZeroED(label_rate=0.02, seed=7)``.
+    """
+
+    def __init__(
+        self,
+        config: ZeroEDConfig | None = None,
+        llm: LLMClient | None = None,
+        **overrides,
+    ) -> None:
+        base = config or ZeroEDConfig()
+        self.config = (
+            dataclasses.replace(base, **overrides) if overrides else base
+        )
+        if llm is None:
+            from repro.llm.simulated.engine import SimulatedLLM
+
+            llm = SimulatedLLM(
+                profile=get_profile(self.config.llm_model),
+                seed=self.config.seed,
+            )
+        self.llm = llm
+
+    # ------------------------------------------------------------------
+    def detect(self, table: Table) -> DetectionResult:
+        """Detect errors in every cell of ``table``."""
+        config = self.config
+        self.llm.ledger.reset()
+        stages: list[StageInfo] = []
+        details: dict = {}
+
+        def run_stage(name: str, fn):
+            before = self.llm.ledger.summary()
+            start = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - start
+            after = self.llm.ledger.summary()
+            stages.append(
+                StageInfo(
+                    name=name,
+                    seconds=elapsed,
+                    input_tokens=after["input_tokens"] - before["input_tokens"],
+                    output_tokens=(
+                        after["output_tokens"] - before["output_tokens"]
+                    ),
+                )
+            )
+            return value
+
+        # --- Step 1: feature representation ---------------------------
+        stats = run_stage("stats", lambda: compute_all_stats(table))
+        correlated = run_stage(
+            "correlation",
+            lambda: (
+                correlated_attributes(
+                    table, config.n_correlated, seed=config.seed
+                )
+                if config.use_correlated_features
+                else {a: [] for a in table.attributes}
+            ),
+        )
+        criteria = run_stage(
+            "criteria",
+            lambda: (
+                generate_initial_criteria(self.llm, table, correlated, config)
+                if config.use_criteria_features
+                else {a: [] for a in table.attributes}
+            ),
+        )
+        feature_space = run_stage(
+            "features",
+            lambda: FeatureSpace(table, stats, correlated, criteria, config),
+        )
+
+        # --- Step 2: sampling and holistic LLM labeling ----------------
+        def do_sampling() -> dict[str, SamplingResult]:
+            n_clusters = config.clusters_for(table.n_rows)
+            return {
+                attr: sample_representatives(
+                    feature_space.unified_matrix(attr),
+                    n_clusters=n_clusters,
+                    method=config.clustering,
+                    seed=spawn(config.seed, f"sample/{attr}"),
+                )
+                for attr in table.attributes
+            }
+
+        sampling = run_stage("sampling", do_sampling)
+
+        def do_guidelines() -> dict[str, str]:
+            if not config.use_guidelines:
+                return {a: "" for a in table.attributes}
+            out = {}
+            for attr in table.attributes:
+                examples = [
+                    _context_row(table, i, attr, correlated[attr])
+                    for i in sampling[attr].sampled_indices[:15]
+                ]
+                out[attr] = build_guideline(self.llm, table, attr, examples).text
+            return out
+
+        guidelines = run_stage("guidelines", do_guidelines)
+
+        def do_labeling() -> dict[str, dict[int, int]]:
+            out = {}
+            for attr in table.attributes:
+                pair_stats = {
+                    q: PairStats.compute(table, q, attr)
+                    for q in correlated[attr]
+                }
+                out[attr] = label_representatives(
+                    llm=self.llm,
+                    table=table,
+                    attr=attr,
+                    sampled_indices=sampling[attr].sampled_indices,
+                    guideline_text=guidelines[attr],
+                    stats=stats[attr],
+                    pair_stats=pair_stats,
+                    correlated=correlated[attr],
+                    config=config,
+                )
+            return out
+
+        llm_labels = run_stage("labeling", do_labeling)
+
+        # --- Step 3: training data construction (Algorithm 1) ----------
+        # Verification first for *all* attributes (it swaps refined
+        # criteria into the feature space, changing base dimensions),
+        # then feature/label assembly against the final feature space.
+        def do_training_data():
+            outcomes = {
+                attr: verify_attribute(
+                    llm=self.llm,
+                    table=table,
+                    attr=attr,
+                    feature_space=feature_space,
+                    sampling=sampling[attr],
+                    llm_labels=llm_labels[attr],
+                    correlated=correlated[attr],
+                    config=config,
+                )
+                for attr in table.attributes
+            }
+            return {
+                attr: assemble_training_data(
+                    llm=self.llm,
+                    table=table,
+                    attr=attr,
+                    feature_space=feature_space,
+                    outcome=outcomes[attr],
+                    correlated=correlated[attr],
+                    config=config,
+                )
+                for attr in table.attributes
+            }
+
+        training = run_stage("training_data", do_training_data)
+
+        # --- Step 4: detector training and prediction ------------------
+        detector = run_stage(
+            "train_detector",
+            lambda: ErrorDetector(config).fit(training, feature_space),
+        )
+        mask = run_stage(
+            "predict", lambda: detector.predict(table, feature_space)
+        )
+
+        details["n_sampled"] = {
+            attr: len(s.sampled_indices) for attr, s in sampling.items()
+        }
+        details["training"] = {
+            attr: {
+                "propagated": t.n_propagated,
+                "removed": t.n_removed_by_verification,
+                "augmented": t.n_augmented,
+                "criteria_kept": t.n_criteria_kept,
+                "criteria_dropped": t.n_criteria_dropped,
+            }
+            for attr, t in training.items()
+        }
+        ledger = self.llm.ledger.summary()
+        return DetectionResult(
+            mask=mask,
+            dataset=table.name,
+            method=f"zeroed[{self.llm.model_name}]",
+            stages=stages,
+            n_llm_requests=ledger["requests"],
+            input_tokens=ledger["input_tokens"],
+            output_tokens=ledger["output_tokens"],
+            details=details,
+        )
+
+
+def _context_row(
+    table: Table, i: int, attr: str, correlated: list[str]
+) -> dict[str, str]:
+    row = {attr: table.cell(i, attr)}
+    for q in correlated:
+        row[q] = table.cell(i, q)
+    return row

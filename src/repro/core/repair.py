@@ -1,0 +1,161 @@
+"""Repair suggestion for detected errors (extension beyond the paper).
+
+ZeroED stops at detection; the cleaning systems it cites (Baran,
+HoloClean, Horizon) continue to repair.  This module closes the loop
+with transparent, evidence-ranked suggestions per flagged cell:
+
+* **dependency vote** — the majority value determined by the strongest
+  correlated attribute (fixes rule violations and many swaps);
+* **near-duplicate** — the frequent column value within small edit
+  distance (fixes typos);
+* **mode imputation** — the column's most frequent value, offered for
+  missing cells in low-cardinality columns.
+
+Each suggestion carries its source and a confidence in [0, 1], so a
+human (or downstream repair model) can triage.  ``apply_repairs``
+writes accepted suggestions into a copy of the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.mask import ErrorMask
+from repro.data.stats import AttributeStats, PairStats
+from repro.data.table import Table
+from repro.ml.nmi import normalized_mutual_information
+
+
+@dataclass(frozen=True)
+class RepairSuggestion:
+    """One candidate fix for a flagged cell."""
+
+    row: int
+    attr: str
+    current: str
+    suggestion: str
+    confidence: float
+    source: str  # 'dependency', 'near_duplicate', or 'mode'
+
+    def __str__(self) -> str:
+        return (
+            f"({self.row}, {self.attr}): {self.current!r} -> "
+            f"{self.suggestion!r} [{self.source}, {self.confidence:.2f}]"
+        )
+
+
+class RepairSuggester:
+    """Evidence-ranked repair suggestions for a detection mask."""
+
+    def __init__(
+        self,
+        table: Table,
+        min_confidence: float = 0.5,
+        max_partners: int = 2,
+    ) -> None:
+        self.table = table
+        self.min_confidence = min_confidence
+        self._stats = {
+            attr: AttributeStats.compute(table, attr)
+            for attr in table.attributes
+        }
+        self._partners = self._pick_partners(max_partners)
+        self._pair_stats: dict[tuple[str, str], PairStats] = {}
+
+    # ------------------------------------------------------------------
+    def _pick_partners(self, k: int) -> dict[str, list[str]]:
+        attrs = self.table.attributes
+        out: dict[str, list[str]] = {}
+        columns = {a: self.table.column_view(a) for a in attrs}
+        for attr in attrs:
+            scored = sorted(
+                (
+                    (normalized_mutual_information(columns[q], columns[attr]), q)
+                    for q in attrs
+                    if q != attr
+                ),
+                key=lambda t: (-t[0], t[1]),
+            )
+            out[attr] = [q for score, q in scored[:k] if score > 0.3]
+        return out
+
+    def _pairs(self, lhs: str, rhs: str) -> PairStats:
+        key = (lhs, rhs)
+        if key not in self._pair_stats:
+            self._pair_stats[key] = PairStats.compute(self.table, lhs, rhs)
+        return self._pair_stats[key]
+
+    # ------------------------------------------------------------------
+    def suggest_cell(self, row: int, attr: str) -> RepairSuggestion | None:
+        """Best suggestion for one cell, or None below the bar."""
+        current = self.table.cell(row, attr)
+        stats = self._stats[attr]
+        candidates: list[RepairSuggestion] = []
+        # Dependency vote from the strongest partner with a confident
+        # majority for this row's partner value.
+        for partner in self._partners[attr]:
+            ps = self._pairs(partner, attr)
+            entry = ps.majority.get(self.table.cell(row, partner))
+            if entry is None:
+                continue
+            value, size, share = entry
+            if size >= 3 and value != current:
+                candidates.append(
+                    RepairSuggestion(
+                        row=row, attr=attr, current=current,
+                        suggestion=value,
+                        confidence=share * min(1.0, size / 10),
+                        source="dependency",
+                    )
+                )
+        # Near-duplicate frequent value (typo repair).
+        if current and not is_missing_placeholder(current):
+            near = stats.nearest_frequent_value(current)
+            if near is not None:
+                near_count = stats.value_counts.get(near, 0)
+                candidates.append(
+                    RepairSuggestion(
+                        row=row, attr=attr, current=current,
+                        suggestion=near,
+                        confidence=min(0.9, 0.5 + near_count / stats.n_rows),
+                        source="near_duplicate",
+                    )
+                )
+        # Mode imputation for missing cells in enum-like columns.
+        if is_missing_placeholder(current) and stats.is_categorical():
+            top = stats.top_values(1)
+            if top:
+                candidates.append(
+                    RepairSuggestion(
+                        row=row, attr=attr, current=current,
+                        suggestion=top[0],
+                        confidence=0.5 * stats.value_frequency(top[0]),
+                        source="mode",
+                    )
+                )
+        candidates = [
+            c for c in candidates if c.confidence >= self.min_confidence
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: c.confidence)
+
+    def suggest(self, mask: ErrorMask) -> list[RepairSuggestion]:
+        """Suggestions for every flagged cell that clears the bar."""
+        out = []
+        for row, attr in mask.error_cells():
+            suggestion = self.suggest_cell(row, attr)
+            if suggestion is not None:
+                out.append(suggestion)
+        return out
+
+
+def apply_repairs(
+    table: Table, suggestions: list[RepairSuggestion]
+) -> Table:
+    """Return a copy of ``table`` with the suggestions applied."""
+    repaired = table.copy()
+    for s in suggestions:
+        repaired.set_cell(s.row, s.attr, s.suggestion)
+    return repaired

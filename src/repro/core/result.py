@@ -1,0 +1,47 @@
+"""Detection results with per-stage provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.mask import ErrorMask
+from repro.ml.metrics import PRF, score_masks
+
+
+@dataclass
+class StageInfo:
+    """Timing and token usage of one pipeline stage."""
+
+    name: str
+    seconds: float
+    input_tokens: int = 0
+    output_tokens: int = 0
+
+
+@dataclass
+class DetectionResult:
+    """Output of one pipeline run: the mask plus provenance."""
+
+    mask: ErrorMask
+    dataset: str
+    method: str
+    stages: list[StageInfo] = field(default_factory=list)
+    n_llm_requests: int = 0
+    input_tokens: int = 0
+    output_tokens: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    def score(self, truth: ErrorMask) -> PRF:
+        """Precision/recall/F1 against a ground-truth mask."""
+        return score_masks(self.mask, truth)
+
+    def stage_summary(self) -> dict[str, float]:
+        return {s.name: s.seconds for s in self.stages}

@@ -1,0 +1,91 @@
+"""Clustering-based representative data sampling (paper §III-C).
+
+Per attribute, the unified feature vectors are partitioned into
+``s = data size × label rate`` clusters and the point nearest each
+cluster centroid is selected for LLM labeling.  Alternative strategies
+(random sampling, agglomerative clustering) reproduce Table VI's
+comparison; random sampling still assigns every point to its nearest
+sample so in-cluster label propagation remains well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ml.agglomerative import AgglomerativeClustering
+from repro.ml.kmeans import KMeans
+from repro.ml.rng import RngLike, as_generator
+
+
+@dataclass
+class SamplingResult:
+    """Cluster assignment and selected representatives for one attribute."""
+
+    cluster_labels: np.ndarray
+    """Cluster id per row."""
+
+    sampled_indices: list[int]
+    """One representative row index per non-empty cluster."""
+
+    representative_of: dict[int, int]
+    """cluster id -> sampled row index."""
+
+
+def _nearest_to_centroids(
+    features: np.ndarray, labels: np.ndarray
+) -> dict[int, int]:
+    """Row nearest each cluster's mean (the paper's centroid point)."""
+    out: dict[int, int] = {}
+    for cluster_id in np.unique(labels):
+        members = np.nonzero(labels == cluster_id)[0]
+        centroid = features[members].mean(axis=0)
+        dists = np.linalg.norm(features[members] - centroid, axis=1)
+        out[int(cluster_id)] = int(members[int(np.argmin(dists))])
+    return out
+
+
+def sample_representatives(
+    features: np.ndarray,
+    n_clusters: int,
+    method: str = "kmeans",
+    seed: RngLike = 0,
+) -> SamplingResult:
+    """Cluster the feature space and pick centroid-nearest points."""
+    features = np.asarray(features, dtype=float)
+    n = features.shape[0]
+    if n == 0:
+        raise ConfigError("cannot sample from an empty feature matrix")
+    n_clusters = max(1, min(n_clusters, n))
+    if method == "kmeans":
+        labels = KMeans(n_clusters=n_clusters, seed=seed).fit_predict(features)
+    elif method == "agglomerative":
+        labels = AgglomerativeClustering(
+            n_clusters=n_clusters, seed=seed
+        ).fit_predict(features)
+    elif method == "random":
+        labels = _random_partition(features, n_clusters, seed)
+    else:
+        raise ConfigError(f"unknown sampling method {method!r}")
+    representative_of = _nearest_to_centroids(features, labels)
+    sampled = sorted(set(representative_of.values()))
+    return SamplingResult(
+        cluster_labels=labels,
+        sampled_indices=sampled,
+        representative_of=representative_of,
+    )
+
+
+def _random_partition(
+    features: np.ndarray, n_clusters: int, seed: RngLike
+) -> np.ndarray:
+    """Random sampling baseline: random anchors, nearest-anchor groups."""
+    rng = as_generator(seed)
+    n = features.shape[0]
+    anchors = rng.choice(n, size=min(n_clusters, n), replace=False)
+    anchor_feats = features[anchors]
+    cross = features @ anchor_feats.T
+    a_sq = np.einsum("ij,ij->i", anchor_feats, anchor_feats)
+    return np.argmin(a_sq[None, :] - 2.0 * cross, axis=1)

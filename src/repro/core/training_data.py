@@ -1,0 +1,371 @@
+"""Training data construction with mutual verification (Algorithm 1).
+
+Per attribute: propagate LLM labels within clusters; refine criteria by
+contrastive in-context prompting over the labeled clean/error values;
+mutually verify — criteria must reach the accuracy threshold on
+right-labeled data, then right-labeled data must pass the surviving
+criteria; finally augment the minority error class with LLM-generated
+semantic errors.  Outputs a balanced feature/label training set and the
+refined criteria (which also replace the attribute's criteria feature
+block, Fig. 3's "update criteria feat").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import ZeroEDConfig
+from repro.criteria import Criterion, compile_criteria
+from repro.core.featurize import FeatureSpace
+from repro.core.sampling import SamplingResult
+from repro.data.table import Table
+from repro.llm.client import LLMClient, LLMRequest
+from repro.llm.prompts import AUGMENT_PROMPT, CONTRASTIVE_CRITERIA_PROMPT
+from repro.ml.rng import spawn
+
+
+@dataclass
+class VerificationOutcome:
+    """Result of Algorithm 1's verification phase for one attribute."""
+
+    attr: str
+    propagated: dict[int, int]
+    refined_criteria: list[Criterion] = field(default_factory=list)
+    n_propagated: int = 0
+    n_removed: int = 0
+    n_criteria_kept: int = 0
+    n_criteria_dropped: int = 0
+
+
+@dataclass
+class AttributeTrainingData:
+    """Balanced training set and provenance counters for one attribute."""
+
+    attr: str
+    features: np.ndarray
+    labels: np.ndarray
+    row_indices: list[int]
+    """Source row per non-augmented example (aligned prefix of labels)."""
+
+    n_propagated: int = 0
+    n_removed_by_verification: int = 0
+    n_augmented: int = 0
+    n_criteria_kept: int = 0
+    n_criteria_dropped: int = 0
+    refined_criteria: list[Criterion] = field(default_factory=list)
+
+
+def propagate_labels(
+    sampling: SamplingResult,
+    llm_labels: dict[int, int],
+    evidence: list | None = None,
+) -> dict[int, int]:
+    """Spread each representative's label within its cluster (line 1).
+
+    Clean labels propagate cluster-wide (and are subsequently checked by
+    the mutual-verification step).  Error labels propagate only to
+    cluster members carrying the *same evidence* — the same cell value
+    and correlated-attribute context — when ``evidence`` keys are given:
+    identical evidence forces an identical verdict, whereas an erroneous
+    representative says little about differently-valued neighbours, and
+    Algorithm 1 never re-verifies propagated *error* labels, so
+    unrestricted error propagation poisons the minority class on
+    high-cardinality attributes (and mislabels context-dependent errors,
+    where one value is clean in one row and a rule violation in
+    another).
+    """
+    out: dict[int, int] = {}
+    for cluster_id, rep_index in sampling.representative_of.items():
+        label = llm_labels.get(rep_index)
+        if label is None:
+            continue
+        members = np.nonzero(sampling.cluster_labels == cluster_id)[0]
+        if label == 1 and evidence is not None:
+            rep_key = evidence[rep_index]
+            members = [i for i in members.tolist() if evidence[i] == rep_key]
+        else:
+            members = members.tolist()
+        for i in members:
+            out[i] = label
+    out.update(llm_labels)  # LLM labels take precedence over propagation
+    return out
+
+
+def _context_row(
+    table: Table, i: int, attr: str, correlated: list[str]
+) -> dict[str, str]:
+    row = {attr: table.cell(i, attr)}
+    for q in correlated:
+        row[q] = table.cell(i, q)
+    return row
+
+
+def refine_criteria(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    error_rows: list[dict[str, str]],
+    clean_rows: list[dict[str, str]],
+    correlated: list[str],
+) -> list[Criterion]:
+    """Contrastive in-context criteria refinement (lines 4-7).
+
+    Both sides carry their correlated-attribute context: a criterion
+    like "brewery_id determines brewery_name" can only be judged
+    against errors *in their rows*, not as bare values.
+    """
+    error_values = [row.get(attr, "") for row in error_rows]
+    clean_values = [row.get(attr, "") for row in clean_rows]
+    prompt = CONTRASTIVE_CRITERIA_PROMPT.format(
+        attr=attr,
+        dataset=table.name,
+        error_values=error_values[:50],
+        clean_values=clean_values[:50],
+    )
+    response = llm.complete(
+        LLMRequest(
+            kind="contrastive_criteria",
+            prompt=prompt,
+            payload={
+                "dataset": table.name,
+                "attr": attr,
+                "error_values": error_values,
+                "error_rows": error_rows,
+                "clean_rows": clean_rows,
+                "correlated": correlated,
+            },
+        )
+    )
+    return compile_criteria(attr, response.payload or [])
+
+
+def verify_attribute(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    feature_space: FeatureSpace,
+    sampling: SamplingResult,
+    llm_labels: dict[int, int],
+    correlated: list[str],
+    config: ZeroEDConfig,
+) -> VerificationOutcome:
+    """Algorithm 1's verification phase (lines 1-24) for one attribute.
+
+    Mutates the feature space (refined criteria replace the attribute's
+    criteria block), so run this for *every* attribute before assembling
+    any training features — unified representations concatenate other
+    attributes' base features, and their dimensions must be final.
+    """
+    if config.propagate_labels:
+        col = table.column_view(attr)
+        context_cols = [
+            table.column_view(q) for q in correlated if q in table.attributes
+        ]
+        evidence = [
+            (col[i],) + tuple(c[i] for c in context_cols)
+            for i in range(table.n_rows)
+        ]
+        propagated = propagate_labels(sampling, llm_labels, evidence=evidence)
+    else:
+        propagated = dict(llm_labels)
+    outcome = VerificationOutcome(
+        attr=attr, propagated=propagated, n_propagated=len(propagated)
+    )
+    if not (config.use_verification and propagated):
+        return outcome
+    col = table.column_view(attr)
+    error_rows = [
+        _context_row(table, i, attr, correlated)
+        for i, lab in sorted(llm_labels.items())
+        if lab == 1
+    ]
+    # Contrastive basis: the propagated right-labeled rows ("the
+    # propagated labeled samples" the paper cross-checks the evolving
+    # criteria against).  The raw LLM-labeled sample is too small to
+    # cover cross-attribute mappings (tens of rows for hundreds of
+    # lhs groups), which would leave consistency criteria blind.
+    clean_sample = [i for i, lab in propagated.items() if lab == 0]
+    if len(clean_sample) > 400:
+        rng = spawn(config.seed, f"contrastive/{attr}")
+        picked = rng.choice(len(clean_sample), size=400, replace=False)
+        clean_sample = [clean_sample[int(k)] for k in sorted(picked)]
+    clean_rows = [
+        _context_row(table, i, attr, correlated) for i in clean_sample
+    ]
+    if error_rows and clean_rows:
+        candidates = refine_criteria(
+            llm, table, attr, error_rows, clean_rows, correlated
+        )
+    else:
+        candidates = []
+    # Verify criteria against propagated right labels (lines 8-14).
+    right_rows = [
+        (i, _context_row(table, i, attr, correlated))
+        for i, lab in propagated.items()
+        if lab == 0
+    ]
+    row_dicts = [row for _, row in right_rows]
+    # The evolving criteria set = contrastive refinements plus the
+    # surviving initial criteria (deduplicated by name, refinements
+    # first), all verified against the right-labeled data.
+    initial = (
+        feature_space.featurizers[attr].criteria
+        if config.use_criteria_features
+        else []
+    )
+    merged: dict[str, Criterion] = {}
+    for crit in list(candidates) + list(initial):
+        merged.setdefault(crit.name, crit)
+    refined: list[Criterion] = []
+    trusted: list[Criterion] = []
+    for crit in merged.values():
+        accuracy = crit.accuracy_on(row_dicts)
+        if accuracy >= config.criteria_accuracy_threshold:
+            refined.append(crit)
+            outcome.n_criteria_kept += 1
+            if accuracy >= config.data_verify_accuracy:
+                trusted.append(crit)
+        else:
+            outcome.n_criteria_dropped += 1
+    # Verify right-labeled data against the *trusted* criteria
+    # (lines 15-20): drop rows failing most checks.  Noisier criteria
+    # stay as features but must not delete training rows.
+    if trusted:
+        for i, row in right_rows:
+            passed = sum(1 for c in trusted if c.check(row))
+            if passed / len(trusted) < config.data_pass_threshold:
+                del propagated[i]
+                outcome.n_removed += 1
+    # Fig. 3: refined criteria replace the criteria feature block.
+    if refined and config.use_criteria_features:
+        feature_space.featurizers[attr].set_criteria(refined)
+        feature_space.invalidate(attr)
+    outcome.refined_criteria = refined
+    return outcome
+
+
+def assemble_training_data(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    feature_space: FeatureSpace,
+    outcome: VerificationOutcome,
+    correlated: list[str],
+    config: ZeroEDConfig,
+) -> AttributeTrainingData:
+    """Assemble features/labels and augment (Algorithm 1 lines 25-27)."""
+    propagated = outcome.propagated
+    col = table.column_view(attr)
+    unified = feature_space.unified_matrix(attr)
+    row_indices = sorted(propagated)
+    features = [unified[row_indices]] if row_indices else []
+    labels = [np.array([propagated[i] for i in row_indices], dtype=float)]
+    n_augmented = 0
+    if config.use_verification and row_indices:
+        n_err = int(sum(propagated[i] for i in row_indices))
+        n_right = len(row_indices) - n_err
+        needed = int(max(0, (n_right - n_err)) * config.augment_ratio)
+        needed = min(needed, 4 * max(n_right, 1))
+        if needed > 0 and n_right > 0:
+            clean_indices = [i for i in row_indices if propagated[i] == 0]
+            rng = spawn(config.seed, f"augment/{attr}")
+            source_rows = [
+                int(clean_indices[int(k)])
+                for k in rng.integers(0, len(clean_indices), size=needed)
+            ]
+            clean_values = [col[i] for i in clean_indices[:200]]
+            response = llm.complete(
+                LLMRequest(
+                    kind="augment",
+                    prompt=AUGMENT_PROMPT.format(
+                        attr=attr,
+                        dataset=table.name,
+                        n=needed,
+                        clean_values=clean_values[:30],
+                        error_desc="typos, format breaks, magnitude shifts, "
+                        "placeholders observed in the labeled errors",
+                    ),
+                    payload={
+                        "dataset": table.name,
+                        "attr": attr,
+                        "clean_values": clean_values,
+                        "n": needed,
+                    },
+                )
+            )
+            generated = list(response.payload or [])
+            aug_vectors = []
+            featurizer = feature_space.featurizers[attr]
+            check_criteria = outcome.refined_criteria or featurizer.criteria
+            rare = max(2, round(0.002 * table.n_rows))
+            for value, src in zip(generated, source_rows):
+                # Verify augmented errors before use: the variant must
+                # differ from its source, and must actually *look*
+                # erroneous — fail at least one criterion or be rare in
+                # the column.  A frequent value passing every check is a
+                # failed augmentation (the LLM returned clean data).
+                if value == col[src]:
+                    continue
+                row = _context_row(table, src, attr, correlated)
+                row[attr] = value
+                fails_criterion = any(
+                    not c.check(row) for c in check_criteria
+                )
+                is_rare = featurizer.stats.value_counts.get(value, 0) <= rare
+                if not fails_criterion and not is_rare:
+                    continue
+                aug_vectors.append(
+                    feature_space.unified_vector(attr, value, row, src)
+                )
+            if aug_vectors:
+                features.append(np.stack(aug_vectors))
+                labels.append(np.ones(len(aug_vectors)))
+                n_augmented = len(aug_vectors)
+
+    if features:
+        feature_matrix = np.vstack(features)
+        label_vector = np.concatenate(labels)
+    else:
+        feature_matrix = np.zeros((0, unified.shape[1]))
+        label_vector = np.zeros(0)
+    return AttributeTrainingData(
+        attr=attr,
+        features=feature_matrix,
+        labels=label_vector,
+        row_indices=row_indices,
+        n_propagated=outcome.n_propagated,
+        n_removed_by_verification=outcome.n_removed,
+        n_augmented=n_augmented,
+        n_criteria_kept=outcome.n_criteria_kept,
+        n_criteria_dropped=outcome.n_criteria_dropped,
+        refined_criteria=outcome.refined_criteria,
+    )
+
+
+def construct_training_data(
+    llm: LLMClient,
+    table: Table,
+    attr: str,
+    feature_space: FeatureSpace,
+    sampling: SamplingResult,
+    llm_labels: dict[int, int],
+    correlated: list[str],
+    config: ZeroEDConfig,
+) -> AttributeTrainingData:
+    """Run the full Algorithm 1 for a *single* attribute.
+
+    Convenience wrapper for tests and single-attribute use.  The
+    pipeline itself runs :func:`verify_attribute` for every attribute
+    first and only then :func:`assemble_training_data`, because
+    verification mutates feature dimensions that other attributes'
+    unified representations depend on.
+    """
+    outcome = verify_attribute(
+        llm, table, attr, feature_space, sampling, llm_labels,
+        correlated, config,
+    )
+    return assemble_training_data(
+        llm, table, attr, feature_space, outcome, correlated, config
+    )

@@ -1,0 +1,143 @@
+"""Compilation and execution of LLM-generated error-checking criteria.
+
+The LLM emits criteria as Python *source strings* (Fig. 4).  This
+module turns them into safe callables and evaluates them over tables:
+
+* compilation runs in a restricted namespace (fresh builtins, no
+  access to the caller's globals);
+* execution failures count as "not clean" for hard failures and are
+  capped — a criterion that raises everywhere is clearly broken and is
+  marked invalid;
+* per-value caching exploits ``context_attrs`` metadata: a criterion
+  that reads only ``row[attr]`` is evaluated once per distinct value,
+  which keeps the 200k-row Tax workload tractable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import CriteriaError
+
+_ALLOWED_IMPORT_ROOTS = {
+    "re", "math", "string", "datetime", "collections", "itertools",
+    "functools", "statistics",
+}
+
+
+def _restricted_import(name, globals=None, locals=None, fromlist=(), level=0):
+    root = name.split(".")[0]
+    if root not in _ALLOWED_IMPORT_ROOTS:
+        raise ImportError(f"import of {name!r} not allowed in criteria code")
+    return __import__(name, globals, locals, fromlist, level)
+
+
+def compile_function(source: str, name: str):
+    """Compile ``source`` and return the function called ``name``."""
+    import builtins as _builtins
+
+    safe_builtins = {
+        k: getattr(_builtins, k)
+        for k in (
+            "abs", "all", "any", "bool", "dict", "enumerate", "float",
+            "int", "len", "list", "max", "min", "range", "round", "set",
+            "sorted", "str", "sum", "tuple", "zip", "isinstance", "repr",
+            "ValueError", "TypeError", "IndexError", "KeyError",
+            "Exception", "ImportError", "AttributeError", "ZeroDivisionError",
+        )
+    }
+    safe_builtins["__import__"] = _restricted_import
+    namespace: dict = {"__builtins__": safe_builtins}
+    try:
+        exec(compile(source, f"<criterion:{name}>", "exec"), namespace)
+    except SyntaxError as exc:
+        raise CriteriaError(f"criterion {name!r} failed to compile: {exc}") from exc
+    fn = namespace.get(name)
+    if not callable(fn):
+        raise CriteriaError(f"criterion source does not define {name!r}")
+    return fn
+
+
+@dataclass
+class Criterion:
+    """One compiled error-checking criterion for a specific attribute."""
+
+    attr: str
+    name: str
+    source: str
+    context_attrs: list[str] = field(default_factory=list)
+    _fn: object = None
+    _cache: dict = field(default_factory=dict, repr=False)
+    _failures: int = 0
+    max_failures: int = 50
+
+    @classmethod
+    def from_spec(cls, attr: str, spec: Mapping) -> "Criterion":
+        """Build from the LLM's ``{name, source, context_attrs}`` dict."""
+        crit = cls(
+            attr=attr,
+            name=str(spec["name"]),
+            source=str(spec["source"]),
+            context_attrs=list(spec.get("context_attrs", [])),
+        )
+        crit._fn = compile_function(crit.source, crit.name)
+        return crit
+
+    @property
+    def is_broken(self) -> bool:
+        """True once the criterion exceeded its runtime failure budget."""
+        return self._failures > self.max_failures
+
+    def check(self, row: Mapping[str, str]) -> bool:
+        """Evaluate on one row; runtime errors count as 'not clean'."""
+        key = (row.get(self.attr, ""),) + tuple(
+            row.get(a, "") for a in self.context_attrs
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            result = bool(self._fn(dict(row), self.attr))
+        except Exception:
+            self._failures += 1
+            result = False
+        if len(self._cache) < 500_000:
+            self._cache[key] = result
+        return result
+
+    def evaluate_column(self, table: Table) -> np.ndarray:
+        """Boolean pass-vector for this criterion over every row."""
+        n = table.n_rows
+        out = np.empty(n, dtype=bool)
+        value_col = table.column_view(self.attr)
+        context_cols = [table.column_view(a) for a in self.context_attrs
+                        if a in table.attributes]
+        context_names = [a for a in self.context_attrs if a in table.attributes]
+        for i in range(n):
+            row = {self.attr: value_col[i]}
+            for name, col in zip(context_names, context_cols):
+                row[name] = col[i]
+            out[i] = self.check(row)
+        return out
+
+    def accuracy_on(self, rows: Sequence[Mapping[str, str]]) -> float:
+        """Fraction of ``rows`` this criterion accepts (pass rate)."""
+        if not rows:
+            return 0.0
+        passed = sum(1 for row in rows if self.check(row))
+        return passed / len(rows)
+
+
+def compile_criteria(attr: str, specs: Sequence[Mapping]) -> list[Criterion]:
+    """Compile a list of LLM criterion specs, skipping broken sources."""
+    out = []
+    for spec in specs:
+        try:
+            out.append(Criterion.from_spec(attr, spec))
+        except CriteriaError:
+            continue  # a real LLM also emits the occasional broken function
+    return out

@@ -1,0 +1,54 @@
+"""Tabular data substrate: tables, masks, injection, datasets."""
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.errortypes import (
+    MISSING_PLACEHOLDERS,
+    ErrorType,
+    is_missing_placeholder,
+)
+from repro.data.injector import (
+    ErrorInjector,
+    ErrorProfile,
+    FunctionalDependency,
+    InjectionResult,
+    classify_error_types,
+)
+from repro.data.kb import KnowledgeBase
+from repro.data.mask import ErrorMask
+from repro.data.maskio import (
+    read_dataset,
+    read_mask,
+    write_dataset,
+    write_mask,
+)
+from repro.data.registry import (
+    COMPARISON_DATASETS,
+    dataset_names,
+    get_dataset,
+    make_dataset,
+)
+from repro.data.table import Table
+
+__all__ = [
+    "COMPARISON_DATASETS",
+    "ErrorInjector",
+    "ErrorMask",
+    "ErrorProfile",
+    "ErrorType",
+    "FunctionalDependency",
+    "InjectionResult",
+    "KnowledgeBase",
+    "MISSING_PLACEHOLDERS",
+    "Table",
+    "classify_error_types",
+    "dataset_names",
+    "get_dataset",
+    "is_missing_placeholder",
+    "make_dataset",
+    "read_csv",
+    "read_dataset",
+    "read_mask",
+    "write_csv",
+    "write_dataset",
+    "write_mask",
+]

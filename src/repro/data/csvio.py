@@ -1,0 +1,50 @@
+"""CSV reading and writing for :class:`~repro.data.table.Table`.
+
+Thin wrappers around :mod:`csv` that keep every cell a string and treat
+the first row as the header, matching how the cleaning benchmarks
+(Hospital, Flights, ...) are distributed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.table import Table
+from repro.errors import DataError
+
+
+def read_csv(path: str | Path, name: str | None = None) -> Table:
+    """Load a CSV file into a :class:`Table`.
+
+    The first row is the header.  Rows shorter than the header are padded
+    with empty strings; longer rows raise :class:`DataError`.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) > len(header):
+                raise DataError(
+                    f"{path}:{lineno} has {len(row)} cells, header has "
+                    f"{len(header)}"
+                )
+            if len(row) < len(header):
+                row = row + [""] * (len(header) - len(row))
+            rows.append(row)
+    return Table.from_rows(header, rows, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a :class:`Table` to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.attributes)
+        for i in range(table.n_rows):
+            writer.writerow(table.row_tuple(i))

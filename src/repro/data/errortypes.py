@@ -1,0 +1,63 @@
+"""Error taxonomy shared across the library.
+
+The paper evaluates five error types (Table II / Fig. 11): missing
+values (MV), typos (T), pattern violations (PV), outliers (O), and rule
+violations (RV).  ``MIXED`` labels cells that accumulated several kinds
+of corruption in the mixed-error scenario of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorType(enum.Enum):
+    """One of the paper's five tabular error types (plus MIXED)."""
+
+    MISSING = "missing_value"
+    TYPO = "typo"
+    PATTERN = "pattern_violation"
+    OUTLIER = "outlier"
+    RULE = "rule_violation"
+    MIXED = "mixed"
+
+    @property
+    def short(self) -> str:
+        """Paper-style abbreviation (MV / T / PV / O / RV / ME)."""
+        return _SHORT[self]
+
+
+_SHORT = {
+    ErrorType.MISSING: "MV",
+    ErrorType.TYPO: "T",
+    ErrorType.PATTERN: "PV",
+    ErrorType.OUTLIER: "O",
+    ErrorType.RULE: "RV",
+    ErrorType.MIXED: "ME",
+}
+
+#: Placeholders that count as explicit/implicit missing values.
+MISSING_PLACEHOLDERS: tuple[str, ...] = (
+    "",
+    "NULL",
+    "null",
+    "N/A",
+    "n/a",
+    "NA",
+    "-",
+    "?",
+    "unknown",
+    "missing",
+)
+
+
+_PLACEHOLDERS_LOWER = frozenset(p.lower() for p in MISSING_PLACEHOLDERS)
+
+
+def is_missing_placeholder(value: str) -> bool:
+    """True if ``value`` is an explicit or implicit missing marker.
+
+    Matching is case-insensitive ('NA', 'na', 'Null' all count).
+    """
+    stripped = value.strip()
+    return not stripped or stripped.lower() in _PLACEHOLDERS_LOWER

@@ -1,0 +1,22 @@
+"""Synthetic benchmark dataset generators (Table II shapes)."""
+
+from repro.data.generators.base import DatasetSpec, scaled_profile
+from repro.data.generators.beers import SPEC as BEERS
+from repro.data.generators.billionaire import SPEC as BILLIONAIRE
+from repro.data.generators.flights import SPEC as FLIGHTS
+from repro.data.generators.hospital import SPEC as HOSPITAL
+from repro.data.generators.movies import SPEC as MOVIES
+from repro.data.generators.rayyan import SPEC as RAYYAN
+from repro.data.generators.tax import SPEC as TAX
+
+__all__ = [
+    "BEERS",
+    "BILLIONAIRE",
+    "DatasetSpec",
+    "FLIGHTS",
+    "HOSPITAL",
+    "MOVIES",
+    "RAYYAN",
+    "TAX",
+    "scaled_profile",
+]

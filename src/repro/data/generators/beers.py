@@ -1,0 +1,95 @@
+"""Beers dataset generator (2,410 × 11; Table II row 3).
+
+Mirrors the craft-cans Kaggle dataset: one row per canned beer with its
+brewery.  Brewery id determines brewery name/city/state, abv and ibu
+are bounded numerics, and ounces come from a tiny discrete domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators.base import DatasetSpec, pick, scaled_profile
+from repro.data.injector import FunctionalDependency
+from repro.data.kb import KnowledgeBase
+from repro.data.pools import (
+    BEER_NOUNS,
+    BEER_STYLES,
+    BEER_WORDS,
+    BREWERY_SUFFIXES,
+    CITY_STATE,
+)
+from repro.data.rules import DomainRule, FDRule, NotNullRule, RangeRule
+from repro.data.table import Table
+
+ATTRIBUTES = [
+    "id", "beer_name", "style", "ounces", "abv", "ibu", "brewery_id",
+    "brewery_name", "city", "state", "serialno",
+]
+
+_OUNCES = ("12.0", "16.0", "12.0", "16.0", "8.4", "19.2", "24.0", "32.0")
+
+
+def generate_clean(n_rows: int, rng: np.random.Generator) -> Table:
+    """Generate clean beers; ~1 brewery per 5 beers, as in the source."""
+    cities = sorted(CITY_STATE)
+    n_breweries = max(5, n_rows // 5)
+    breweries = []
+    for b in range(n_breweries):
+        city = pick(rng, cities)
+        state, _ = CITY_STATE[city]
+        name = f"{pick(rng, BEER_WORDS)} {pick(rng, BEER_NOUNS)} {pick(rng, BREWERY_SUFFIXES)}"
+        breweries.append(
+            {"brewery_id": str(b), "brewery_name": name, "city": city, "state": state}
+        )
+    rows = []
+    for i in range(n_rows):
+        brewery = breweries[int(rng.integers(len(breweries)))]
+        abv = rng.uniform(0.035, 0.1)
+        ibu = int(rng.integers(10, 120))
+        beer = f"{pick(rng, BEER_WORDS)} {pick(rng, BEER_NOUNS)}"
+        if rng.random() < 0.3:
+            beer += f" {pick(rng, ('IPA', 'Ale', 'Lager', 'Stout', 'Porter'))}"
+        rows.append(
+            [
+                str(i + 1),
+                beer,
+                pick(rng, BEER_STYLES),
+                pick(rng, _OUNCES),
+                f"{abv:.3f}",
+                str(ibu),
+                brewery["brewery_id"],
+                brewery["brewery_name"],
+                brewery["city"],
+                brewery["state"],
+                f"BC{int(rng.integers(10_000, 99_999))}",
+            ]
+        )
+    return Table.from_rows(ATTRIBUTES, rows, name="beers")
+
+
+SPEC = DatasetSpec(
+    name="beers",
+    default_rows=2410,
+    generate_clean=generate_clean,
+    # Table II: Err 12.98; MV 0.90, PV 9.14, T 2.43, O 1.09, RV 1.12.
+    profile=scaled_profile(
+        0.1298, missing=0.0090, pattern=0.0914, typo=0.0243,
+        outlier=0.0109, rule=0.0112,
+    ),
+    numeric_attributes=["abv", "ibu", "ounces", "id", "brewery_id"],
+    dependencies=[
+        FunctionalDependency("brewery_id", "brewery_name"),
+        FunctionalDependency("brewery_id", "city"),
+        FunctionalDependency("city", "state"),
+    ],
+    rules=[
+        FDRule("brewery_id", "brewery_name"),
+        FDRule("brewery_id", "city"),
+        RangeRule("abv", 0.0, 0.2),
+        RangeRule("ibu", 0.0, 200.0),
+        DomainRule.of("ounces", sorted(set(_OUNCES))),
+        NotNullRule("brewery_id"),
+    ],
+    kb=KnowledgeBase(),  # no relevant KB (paper: KATARA scores 0 here).
+)

@@ -1,0 +1,157 @@
+"""Hospital dataset generator (1,000 × 20; Table II row 1).
+
+Mirrors the classic Hospital cleaning benchmark: US hospital records
+with strong functional dependencies (ZipCode → City/State, MeasureCode
+→ Condition/MeasureName, ProviderNumber → HospitalName) that rule- and
+KB-based detectors exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators.base import (
+    DatasetSpec,
+    phone,
+    pick,
+    pick_weighted,
+    scaled_profile,
+    zipcode,
+)
+from repro.data.injector import FunctionalDependency
+from repro.data.kb import KnowledgeBase
+from repro.data.pools import (
+    CITY_STATE,
+    HOSPITAL_CONDITIONS,
+    HOSPITAL_OWNERS,
+    HOSPITAL_TYPES,
+    LAST_NAMES,
+    MEASURE_NAMES,
+)
+from repro.data.rules import DomainRule, FDRule, NotNullRule, PatternRule
+from repro.data.table import Table
+
+ATTRIBUTES = [
+    "ProviderNumber", "HospitalName", "Address1", "Address2", "Address3",
+    "City", "State", "ZipCode", "CountyName", "PhoneNumber", "HospitalType",
+    "HospitalOwner", "EmergencyService", "Condition", "MeasureCode",
+    "MeasureName", "Score", "Sample", "StateAvg", "Region",
+]
+
+_REGION_OF_STATE = {
+    "AL": "South", "AZ": "West", "CA": "West", "CO": "West", "CT": "Northeast",
+    "FL": "South", "GA": "South", "IL": "Midwest", "IN": "Midwest",
+    "IA": "Midwest", "KS": "Midwest", "KY": "South", "LA": "South",
+    "MA": "Northeast", "MD": "South", "MI": "Midwest", "MN": "Midwest",
+    "MS": "South", "MO": "Midwest", "NE": "Midwest", "NV": "West",
+    "NJ": "Northeast", "NM": "West", "NY": "Northeast", "NC": "South",
+    "OH": "Midwest", "OK": "South", "OR": "West", "PA": "Northeast",
+    "RI": "Northeast", "SC": "South", "TN": "South", "TX": "South",
+    "UT": "West", "VA": "South", "WA": "West", "WI": "Midwest",
+}
+
+
+def generate_clean(n_rows: int, rng: np.random.Generator) -> Table:
+    """Generate a clean Hospital table with ~60 distinct providers."""
+    cities = sorted(CITY_STATE)
+    n_providers = max(10, min(80, n_rows // 15))
+    providers = []
+    for p in range(n_providers):
+        number = f"{10000 + p}"
+        city = pick(rng, cities)
+        state, zip_prefix = CITY_STATE[city]
+        providers.append(
+            {
+                "ProviderNumber": number,
+                "HospitalName": f"{pick(rng, LAST_NAMES).upper()} "
+                                f"{pick(rng, ('MEDICAL CENTER', 'HOSPITAL', 'REGIONAL MEDICAL CENTER', 'MEMORIAL HOSPITAL'))}",
+                "Address1": f"{int(rng.integers(100, 9900))} "
+                            f"{pick(rng, LAST_NAMES).upper()} "
+                            f"{pick(rng, ('STREET', 'AVENUE', 'DRIVE', 'BOULEVARD'))}",
+                "Address2": "",
+                "Address3": "",
+                "City": city.upper(),
+                "State": state,
+                "ZipCode": zipcode(rng, zip_prefix),
+                "CountyName": pick(rng, LAST_NAMES).upper(),
+                "PhoneNumber": phone(rng).replace("-", ""),
+                "HospitalType": pick_weighted(rng, HOSPITAL_TYPES),
+                "HospitalOwner": pick_weighted(rng, HOSPITAL_OWNERS),
+                "EmergencyService": "Yes" if rng.random() < 0.8 else "No",
+            }
+        )
+    conditions = sorted(HOSPITAL_CONDITIONS)
+    state_avgs: dict[tuple[str, str], str] = {}
+    rows = []
+    for _ in range(n_rows):
+        provider = providers[int(rng.integers(len(providers)))]
+        condition = pick_weighted(rng, conditions)
+        code = pick(rng, HOSPITAL_CONDITIONS[condition])
+        score = f"{int(rng.integers(55, 101))}%"
+        sample = f"{int(rng.integers(10, 800))} patients"
+        key = (provider["State"], code)
+        if key not in state_avgs:
+            state_avgs[key] = f"{provider['State']}_{code}_{int(rng.integers(60, 100))}%"
+        row = dict(provider)
+        row.update(
+            {
+                "Condition": condition,
+                "MeasureCode": code,
+                "MeasureName": MEASURE_NAMES[code],
+                "Score": score,
+                "Sample": sample,
+                "StateAvg": state_avgs[key],
+                "Region": _REGION_OF_STATE[provider["State"]],
+            }
+        )
+        rows.append([row[a] for a in ATTRIBUTES])
+    return Table.from_rows(ATTRIBUTES, rows, name="hospital")
+
+
+def _build_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_relation(
+        "City",
+        "State",
+        [(city.upper(), st) for city, (st, _) in CITY_STATE.items()],
+    )
+    kb.add_relation(
+        "State",
+        "Region",
+        [(st, region) for st, region in _REGION_OF_STATE.items()],
+    )
+    kb.add_domain("State", sorted({v[0] for v in CITY_STATE.values()}))
+    kb.add_domain("Condition", sorted(HOSPITAL_CONDITIONS))
+    return kb
+
+
+SPEC = DatasetSpec(
+    name="hospital",
+    default_rows=1000,
+    generate_clean=generate_clean,
+    # Table II: Err 4.82; MV 0, PV 2.75, T 2.71, O 2.98, RV 2.05.
+    profile=scaled_profile(
+        0.0482, missing=0.0, pattern=0.0275, typo=0.0271,
+        outlier=0.0298, rule=0.0205,
+    ),
+    numeric_attributes=["ProviderNumber"],
+    dependencies=[
+        FunctionalDependency("ZipCode", "City"),
+        FunctionalDependency("City", "State"),
+        FunctionalDependency("MeasureCode", "Condition"),
+        FunctionalDependency("MeasureCode", "MeasureName"),
+        FunctionalDependency("ProviderNumber", "HospitalName"),
+        FunctionalDependency("State", "Region"),
+    ],
+    rules=[
+        FDRule("ZipCode", "City"),
+        FDRule("City", "State"),
+        FDRule("MeasureCode", "Condition"),
+        FDRule("MeasureCode", "MeasureName"),
+        PatternRule("ZipCode", r"\d{5}"),
+        PatternRule("PhoneNumber", r"\d{10}"),
+        DomainRule.of("EmergencyService", ("Yes", "No")),
+        NotNullRule("ProviderNumber"),
+    ],
+    kb=_build_kb(),
+)

@@ -1,0 +1,53 @@
+"""A small KATARA-style knowledge base.
+
+KATARA validates attribute pairs against curated relations (e.g.
+``city isLocatedIn state``).  The KB here exposes exactly that: a set
+of valid value pairs per (lhs_attr, rhs_attr) relation, plus optional
+single-attribute domains.  Datasets without relevant relations get an
+empty KB, reproducing the paper's zero scores for KATARA on Flights,
+Beers, Rayyan and Movies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KnowledgeBase:
+    """Curated relations and domains for KATARA-style validation."""
+
+    #: (lhs_attr, rhs_attr) -> set of valid (lhs_value, rhs_value) pairs.
+    relations: dict[tuple[str, str], set[tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    #: attr -> set of known-valid values for that attribute.
+    domains: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_relation(
+        self, lhs: str, rhs: str, pairs: Iterable[tuple[str, str]]
+    ) -> None:
+        self.relations.setdefault((lhs, rhs), set()).update(pairs)
+
+    def add_domain(self, attr: str, values: Iterable[str]) -> None:
+        self.domains.setdefault(attr, set()).update(values)
+
+    def is_empty(self) -> bool:
+        return not self.relations and not self.domains
+
+    def knows_lhs(self, lhs: str, rhs: str, lhs_value: str) -> bool:
+        """True if the KB has any pair for this lhs value."""
+        pairs = self.relations.get((lhs, rhs), set())
+        return any(a == lhs_value for a, _ in pairs)
+
+    def pair_valid(self, lhs: str, rhs: str, lhs_value: str, rhs_value: str) -> bool:
+        return (lhs_value, rhs_value) in self.relations.get((lhs, rhs), set())
+
+    def domain_valid(self, attr: str, value: str) -> bool:
+        return value in self.domains.get(attr, set())
+
+    def covers_attribute(self, attr: str) -> bool:
+        if attr in self.domains:
+            return True
+        return any(attr in pair for pair in self.relations)

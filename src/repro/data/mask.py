@@ -1,0 +1,129 @@
+"""Cell-level error masks and detection results.
+
+An :class:`ErrorMask` is the ground-truth (or predicted) boolean matrix
+aligned with a :class:`~repro.data.table.Table`: ``mask[i][j]`` is True
+iff cell ``(i, attrs[j])`` is erroneous.  Both ground truth derivation
+(``dirty != clean``) and every detector's output use this type, so
+metric computation is uniform across methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+class ErrorMask:
+    """Boolean per-cell matrix aligned to a table schema."""
+
+    def __init__(self, attributes: Sequence[str], matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise SchemaError("mask matrix must be 2-D")
+        if matrix.shape[1] != len(attributes):
+            raise SchemaError(
+                f"mask has {matrix.shape[1]} columns, schema has "
+                f"{len(attributes)} attributes"
+            )
+        self.attributes = list(attributes)
+        self.matrix = matrix
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, attributes: Sequence[str], n_rows: int) -> "ErrorMask":
+        return cls(attributes, np.zeros((n_rows, len(attributes)), dtype=bool))
+
+    @classmethod
+    def from_tables(cls, dirty: Table, clean: Table) -> "ErrorMask":
+        """Ground truth: a cell is an error iff dirty differs from clean."""
+        return cls(dirty.attributes, np.array(dirty.diff_mask(clean)))
+
+    @classmethod
+    def from_cells(
+        cls,
+        attributes: Sequence[str],
+        n_rows: int,
+        cells: Iterable[tuple[int, str]],
+    ) -> "ErrorMask":
+        """Build from an iterable of ``(row_index, attribute)`` pairs."""
+        mask = cls.zeros(attributes, n_rows)
+        for i, attr in cells:
+            mask.set(i, attr, True)
+        return mask
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def get(self, i: int, attr: str) -> bool:
+        return bool(self.matrix[i, self._col(attr)])
+
+    def set(self, i: int, attr: str, value: bool) -> None:
+        self.matrix[i, self._col(attr)] = value
+
+    def column(self, attr: str) -> np.ndarray:
+        return self.matrix[:, self._col(attr)]
+
+    def error_cells(self) -> list[tuple[int, str]]:
+        """All (row, attribute) pairs flagged as errors, row-major order."""
+        out = []
+        rows, cols = np.nonzero(self.matrix)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            out.append((i, self.attributes[j]))
+        return out
+
+    def error_count(self) -> int:
+        return int(self.matrix.sum())
+
+    def error_rate(self) -> float:
+        return float(self.matrix.mean()) if self.matrix.size else 0.0
+
+    def flat(self) -> np.ndarray:
+        """Row-major flattened boolean vector (for metric computation)."""
+        return self.matrix.ravel()
+
+    def copy(self) -> "ErrorMask":
+        return ErrorMask(self.attributes, self.matrix.copy())
+
+    # ------------------------------------------------------------------
+    def union(self, other: "ErrorMask") -> "ErrorMask":
+        self._check_aligned(other)
+        return ErrorMask(self.attributes, self.matrix | other.matrix)
+
+    def intersection(self, other: "ErrorMask") -> "ErrorMask":
+        self._check_aligned(other)
+        return ErrorMask(self.attributes, self.matrix & other.matrix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ErrorMask):
+            return NotImplemented
+        return (
+            self.attributes == other.attributes
+            and self.matrix.shape == other.matrix.shape
+            and bool((self.matrix == other.matrix).all())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorMask(rows={self.n_rows}, attrs={len(self.attributes)}, "
+            f"errors={self.error_count()})"
+        )
+
+    # ------------------------------------------------------------------
+    def _col(self, attr: str) -> int:
+        try:
+            return self.attributes.index(attr)
+        except ValueError:
+            raise SchemaError(f"unknown attribute {attr!r}") from None
+
+    def _check_aligned(self, other: "ErrorMask") -> None:
+        if (
+            other.attributes != self.attributes
+            or other.matrix.shape != self.matrix.shape
+        ):
+            raise SchemaError("masks must share schema and shape")

@@ -1,0 +1,66 @@
+"""Persistence for error masks and full datasets.
+
+Experiment artifacts need to round-trip through disk: a dataset is the
+dirty CSV, the clean CSV, and the cell-level mask.  Masks serialise to
+a compact JSON of flagged cells (most cells are clean), so artifacts
+stay small even for the 200k-row Tax table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.injector import InjectionResult
+from repro.data.mask import ErrorMask
+from repro.errors import DataError
+
+
+def write_mask(mask: ErrorMask, path: str | Path) -> None:
+    """Serialise a mask to JSON (schema + flagged cells)."""
+    path = Path(path)
+    payload = {
+        "attributes": mask.attributes,
+        "n_rows": mask.n_rows,
+        "errors": [[i, attr] for i, attr in mask.error_cells()],
+    }
+    path.write_text(json.dumps(payload))
+
+
+def read_mask(path: str | Path) -> ErrorMask:
+    """Load a mask written by :func:`write_mask`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataError(f"{path} is not a valid mask file: {exc}") from exc
+    for key in ("attributes", "n_rows", "errors"):
+        if key not in payload:
+            raise DataError(f"{path} is missing the {key!r} field")
+    return ErrorMask.from_cells(
+        payload["attributes"],
+        int(payload["n_rows"]),
+        [(int(i), str(attr)) for i, attr in payload["errors"]],
+    )
+
+
+def write_dataset(data: InjectionResult, directory: str | Path) -> Path:
+    """Write dirty.csv / clean.csv / mask.json into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_csv(data.dirty, directory / "dirty.csv")
+    write_csv(data.clean, directory / "clean.csv")
+    write_mask(data.mask, directory / "mask.json")
+    return directory
+
+
+def read_dataset(directory: str | Path) -> InjectionResult:
+    """Load a dataset directory written by :func:`write_dataset`."""
+    directory = Path(directory)
+    dirty = read_csv(directory / "dirty.csv")
+    clean = read_csv(directory / "clean.csv")
+    mask = read_mask(directory / "mask.json")
+    if mask.attributes != dirty.attributes or mask.n_rows != dirty.n_rows:
+        raise DataError(f"{directory}: mask does not align with dirty.csv")
+    return InjectionResult(dirty=dirty, clean=clean, mask=mask)

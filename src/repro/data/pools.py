@@ -1,0 +1,254 @@
+"""Shared value pools for the synthetic dataset generators.
+
+The offline reproduction cannot ship the original benchmark CSVs, so
+each generator draws from curated pools that reproduce the *shape* of
+the real data: realistic cardinalities, formats, and cross-attribute
+dependencies (city → state, condition → measure code, ...), which is
+what the detectors actually key on.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+)
+
+# City -> (State code, sample zip prefix); drives the city->state FD and
+# the KATARA knowledge base for datasets where a KB "exists".
+CITY_STATE: dict[str, tuple[str, str]] = {
+    "Birmingham": ("AL", "352"),
+    "Montgomery": ("AL", "361"),
+    "Mobile": ("AL", "366"),
+    "Huntsville": ("AL", "358"),
+    "Phoenix": ("AZ", "850"),
+    "Tucson": ("AZ", "857"),
+    "Los Angeles": ("CA", "900"),
+    "San Diego": ("CA", "921"),
+    "San Francisco": ("CA", "941"),
+    "Sacramento": ("CA", "958"),
+    "Denver": ("CO", "802"),
+    "Hartford": ("CT", "061"),
+    "Miami": ("FL", "331"),
+    "Orlando": ("FL", "328"),
+    "Tampa": ("FL", "336"),
+    "Atlanta": ("GA", "303"),
+    "Chicago": ("IL", "606"),
+    "Indianapolis": ("IN", "462"),
+    "Des Moines": ("IA", "503"),
+    "Wichita": ("KS", "672"),
+    "Louisville": ("KY", "402"),
+    "New Orleans": ("LA", "701"),
+    "Boston": ("MA", "021"),
+    "Baltimore": ("MD", "212"),
+    "Detroit": ("MI", "482"),
+    "Minneapolis": ("MN", "554"),
+    "Jackson": ("MS", "392"),
+    "Kansas City": ("MO", "641"),
+    "Omaha": ("NE", "681"),
+    "Las Vegas": ("NV", "891"),
+    "Newark": ("NJ", "071"),
+    "Albuquerque": ("NM", "871"),
+    "New York": ("NY", "100"),
+    "Buffalo": ("NY", "142"),
+    "Charlotte": ("NC", "282"),
+    "Columbus": ("OH", "432"),
+    "Cleveland": ("OH", "441"),
+    "Oklahoma City": ("OK", "731"),
+    "Portland": ("OR", "972"),
+    "Philadelphia": ("PA", "191"),
+    "Pittsburgh": ("PA", "152"),
+    "Providence": ("RI", "029"),
+    "Charleston": ("SC", "294"),
+    "Memphis": ("TN", "381"),
+    "Nashville": ("TN", "372"),
+    "Houston": ("TX", "770"),
+    "Dallas": ("TX", "752"),
+    "Austin": ("TX", "787"),
+    "San Antonio": ("TX", "782"),
+    "Salt Lake City": ("UT", "841"),
+    "Richmond": ("VA", "232"),
+    "Seattle": ("WA", "981"),
+    "Milwaukee": ("WI", "532"),
+}
+
+STATES: tuple[str, ...] = tuple(sorted({v[0] for v in CITY_STATE.values()}))
+
+COUNTRIES: tuple[str, ...] = (
+    "United States", "China", "Germany", "Russia", "Brazil", "India",
+    "United Kingdom", "France", "Italy", "Canada", "Japan", "Australia",
+    "Spain", "Mexico", "South Korea", "Switzerland", "Sweden", "Turkey",
+    "Saudi Arabia", "Indonesia",
+)
+
+INDUSTRIES: tuple[str, ...] = (
+    "Technology", "Retail", "Finance", "Real Estate", "Energy",
+    "Healthcare", "Media", "Manufacturing", "Telecom", "Food and Beverage",
+    "Mining", "Transportation", "Fashion", "Entertainment", "Agriculture",
+)
+
+BEER_STYLES: tuple[str, ...] = (
+    "American IPA", "American Pale Ale (APA)", "American Amber / Red Ale",
+    "American Blonde Ale", "American Double / Imperial IPA",
+    "American Porter", "American Stout", "Fruit / Vegetable Beer",
+    "Hefeweizen", "Witbier", "Kolsch", "Saison / Farmhouse Ale",
+    "American Brown Ale", "Oatmeal Stout", "Pilsner", "Cream Ale",
+    "Scotch Ale / Wee Heavy", "English Brown Ale", "Vienna Lager",
+    "Czech Pilsener", "Rye Beer", "Marzen / Oktoberfest",
+)
+
+BEER_WORDS: tuple[str, ...] = (
+    "Hop", "River", "Golden", "Moon", "Iron", "Wolf", "Summer", "Winter",
+    "Stone", "Cloud", "Fire", "Ghost", "Bear", "Eagle", "Copper", "Wild",
+    "Old", "Red", "Black", "Blue", "Happy", "Lucky", "Grand", "Little",
+    "Noble", "Royal", "Rustic", "Silent", "Smoky", "Velvet",
+)
+
+BEER_NOUNS: tuple[str, ...] = (
+    "Trail", "Session", "Haze", "Drifter", "Anthem", "Harvest", "Ridge",
+    "Valley", "Canyon", "Creek", "Hollow", "Summit", "Meadow", "Grove",
+    "Lantern", "Compass", "Anchor", "Crown", "Forge", "Spark",
+)
+
+BREWERY_SUFFIXES: tuple[str, ...] = (
+    "Brewing Company", "Brewery", "Brewing Co.", "Beer Company",
+    "Craft Brewers", "Ales", "Brewhouse",
+)
+
+HOSPITAL_CONDITIONS: dict[str, tuple[str, ...]] = {
+    # Condition -> measure codes (the Fig. 4 FD: MeasureCode determines
+    # Condition via its prefix).
+    "Surgical Infection Prevention": ("SCIP-CARD-2", "SCIP-INF-1",
+                                      "SCIP-INF-2", "SCIP-INF-3",
+                                      "SCIP-VTE-1", "SCIP-VTE-2"),
+    "Heart Attack": ("AMI-1", "AMI-2", "AMI-3", "AMI-4", "AMI-5",
+                     "AMI-7A", "AMI-8A"),
+    "Pneumonia": ("PN-2", "PN-3B", "PN-4", "PN-5C", "PN-6", "PN-7"),
+    "Heart Failure": ("HF-1", "HF-2", "HF-3", "HF-4"),
+    "Children Asthma Care": ("CAC-1", "CAC-2", "CAC-3"),
+}
+
+MEASURE_NAMES: dict[str, str] = {
+    "SCIP-CARD-2": "surgery patients on beta blocker therapy",
+    "SCIP-INF-1": "prophylactic antibiotic within one hour",
+    "SCIP-INF-2": "prophylactic antibiotic selection",
+    "SCIP-INF-3": "antibiotics discontinued within 24 hours",
+    "SCIP-VTE-1": "venous thromboembolism prophylaxis ordered",
+    "SCIP-VTE-2": "venous thromboembolism prophylaxis received",
+    "AMI-1": "aspirin at arrival",
+    "AMI-2": "aspirin prescribed at discharge",
+    "AMI-3": "ace inhibitor for lvsd",
+    "AMI-4": "adult smoking cessation advice",
+    "AMI-5": "beta blocker prescribed at discharge",
+    "AMI-7A": "fibrinolytic therapy within 30 minutes",
+    "AMI-8A": "primary pci within 90 minutes",
+    "PN-2": "pneumococcal vaccination",
+    "PN-3B": "blood cultures before antibiotic",
+    "PN-4": "adult smoking cessation advice",
+    "PN-5C": "initial antibiotic within 6 hours",
+    "PN-6": "initial antibiotic selection",
+    "PN-7": "influenza vaccination",
+    "HF-1": "discharge instructions",
+    "HF-2": "evaluation of lvs function",
+    "HF-3": "ace inhibitor for lvsd",
+    "HF-4": "adult smoking cessation advice",
+    "CAC-1": "relievers for inpatient asthma",
+    "CAC-2": "systemic corticosteroids for inpatient asthma",
+    "CAC-3": "home management plan of care",
+}
+
+HOSPITAL_TYPES: tuple[str, ...] = (
+    "Acute Care Hospitals", "Critical Access Hospitals",
+    "Childrens Hospitals",
+)
+
+HOSPITAL_OWNERS: tuple[str, ...] = (
+    "Government - Hospital District or Authority", "Government - Local",
+    "Government - State", "Proprietary", "Voluntary non-profit - Church",
+    "Voluntary non-profit - Private", "Voluntary non-profit - Other",
+)
+
+AIRLINES: tuple[str, ...] = ("AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9")
+
+AIRPORTS: tuple[str, ...] = (
+    "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO",
+    "EWR", "CLT", "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL",
+)
+
+FLIGHT_SOURCES: tuple[str, ...] = (
+    "aa", "airtravelcenter", "allegiantair", "boston", "businesstravellogue",
+    "CO", "den", "dfw", "flightarrival", "flightaware", "flightexplorer",
+    "flights", "flightstats", "flightview", "flightwise", "flylouisville",
+    "foxbusiness", "gofox", "helloflight", "iad", "ifly", "mco", "mia",
+    "myrateplan", "mytripandmore", "orbitz", "ord", "panynj", "phl", "quicktrip",
+    "sfo", "travelocity", "ua", "usatoday", "weather", "world-flight-tracker",
+    "wunderground",
+)
+
+JOURNALS: tuple[str, ...] = (
+    "Journal of Clinical Epidemiology", "The Lancet", "BMJ",
+    "Annals of Internal Medicine", "Cochrane Database of Systematic Reviews",
+    "JAMA", "New England Journal of Medicine", "PLOS ONE",
+    "Systematic Reviews", "Journal of Medical Internet Research",
+    "BMC Medicine", "Health Technology Assessment", "Trials",
+    "International Journal of Epidemiology", "Clinical Trials",
+)
+
+LANGUAGES: tuple[str, ...] = (
+    "English", "French", "German", "Spanish", "Chinese", "Japanese",
+    "Portuguese", "Italian", "Russian", "Korean",
+)
+
+MOVIE_GENRES: tuple[str, ...] = (
+    "Drama", "Comedy", "Action", "Thriller", "Romance", "Horror",
+    "Adventure", "Crime", "Science Fiction", "Documentary", "Animation",
+    "Fantasy", "Mystery", "Western", "Musical",
+)
+
+MOVIE_WORDS: tuple[str, ...] = (
+    "Midnight", "Silent", "Broken", "Golden", "Final", "Lost", "Hidden",
+    "Eternal", "Crimson", "Savage", "Gentle", "Burning", "Frozen",
+    "Distant", "Secret", "Shattered", "Rising", "Falling", "Endless",
+)
+
+MOVIE_NOUNS: tuple[str, ...] = (
+    "Horizon", "Echo", "Empire", "Garden", "Journey", "Promise", "Shadow",
+    "Storm", "Summer", "River", "Dream", "Memory", "Kingdom", "Harbor",
+    "Letter", "Road", "Mirror", "Island", "Voyage", "Whisper",
+)
+
+COMPANY_WORDS: tuple[str, ...] = (
+    "Global", "United", "Pacific", "Atlas", "Vertex", "Pioneer", "Summit",
+    "Quantum", "Sterling", "Beacon", "Cascade", "Meridian", "Polaris",
+    "Vanguard", "Zenith", "Apex", "Nova", "Orion", "Titan", "Aurora",
+)
+
+COMPANY_SUFFIXES: tuple[str, ...] = (
+    "Holdings", "Group", "Industries", "Capital", "Partners", "Corp",
+    "Enterprises", "Ventures", "Technologies", "International",
+)
+
+MARITAL_STATUSES: tuple[str, ...] = ("S", "M", "D", "W")
+
+EDUCATION_LEVELS: tuple[str, ...] = (
+    "High School", "Bachelor", "Master", "PhD", "Associate",
+)

@@ -1,0 +1,128 @@
+"""Data-quality profiling reports.
+
+A human-readable per-attribute profile of a table: cardinality, missing
+share, dominant formats, numeric summary, and the strongest detected
+dependencies.  This is the "understand your data first" companion the
+error-detection workflow starts from (and a convenient debugging lens
+on what the pipeline's statistics actually see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.stats import AttributeStats, PairStats
+from repro.data.table import Table
+from repro.ml.nmi import normalized_mutual_information
+
+
+@dataclass
+class AttributeProfile:
+    """Profile facts for one attribute."""
+
+    attr: str
+    n_distinct: int
+    missing_share: float
+    numeric_fraction: float
+    mean_length: float
+    top_values: list[str] = field(default_factory=list)
+    dominant_patterns: list[str] = field(default_factory=list)
+    numeric_summary: str = ""
+
+
+@dataclass
+class DependencyFact:
+    """A strong lhs -> rhs dependency discovered in the data."""
+
+    lhs: str
+    rhs: str
+    nmi: float
+    fd_strength: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.lhs} -> {self.rhs} "
+            f"(NMI={self.nmi:.2f}, FD-strength={self.fd_strength:.2f})"
+        )
+
+
+@dataclass
+class TableProfile:
+    """A full profiling report for a table."""
+
+    name: str
+    n_rows: int
+    attributes: list[AttributeProfile] = field(default_factory=list)
+    dependencies: list[DependencyFact] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"Profile of '{self.name}' ({self.n_rows} rows)", ""]
+        for ap in self.attributes:
+            lines.append(f"## {ap.attr}")
+            lines.append(
+                f"  distinct={ap.n_distinct}  missing={ap.missing_share:.1%}"
+                f"  numeric={ap.numeric_fraction:.1%}"
+                f"  mean_len={ap.mean_length:.1f}"
+            )
+            if ap.top_values:
+                shown = ", ".join(repr(v) for v in ap.top_values[:5])
+                lines.append(f"  top values: {shown}")
+            if ap.dominant_patterns:
+                lines.append(
+                    f"  formats: {', '.join(ap.dominant_patterns[:4])}"
+                )
+            if ap.numeric_summary:
+                lines.append(f"  numeric: {ap.numeric_summary}")
+        if self.dependencies:
+            lines.append("")
+            lines.append("## Strong dependencies")
+            for dep in self.dependencies:
+                lines.append(f"  {dep}")
+        return "\n".join(lines)
+
+
+def profile_table(
+    table: Table,
+    nmi_threshold: float = 0.6,
+    fd_threshold: float = 0.8,
+) -> TableProfile:
+    """Compute a :class:`TableProfile` for ``table``."""
+    profile = TableProfile(name=table.name, n_rows=table.n_rows)
+    stats = {a: AttributeStats.compute(table, a) for a in table.attributes}
+    for attr in table.attributes:
+        st = stats[attr]
+        numeric_summary = ""
+        if st.numeric.fraction > 0:
+            numeric_summary = (
+                f"median={st.numeric.median:.4g} "
+                f"p01={st.numeric.q01:.4g} p99={st.numeric.q99:.4g}"
+            )
+        profile.attributes.append(
+            AttributeProfile(
+                attr=attr,
+                n_distinct=st.n_distinct(),
+                missing_share=st.missing_share(),
+                numeric_fraction=st.numeric.fraction,
+                mean_length=st.mean_length,
+                top_values=st.top_values(5),
+                dominant_patterns=st.dominant_patterns(0.9)[:4],
+                numeric_summary=numeric_summary,
+            )
+        )
+    columns = {a: table.column_view(a) for a in table.attributes}
+    for i, lhs in enumerate(table.attributes):
+        for rhs in table.attributes[i + 1 :]:
+            nmi = normalized_mutual_information(columns[lhs], columns[rhs])
+            if nmi < nmi_threshold:
+                continue
+            for a, b in ((lhs, rhs), (rhs, lhs)):
+                ps = PairStats.compute(table, a, b)
+                if ps.fd_strength >= fd_threshold:
+                    profile.dependencies.append(
+                        DependencyFact(
+                            lhs=a, rhs=b, nmi=nmi,
+                            fd_strength=ps.fd_strength,
+                        )
+                    )
+    profile.dependencies.sort(key=lambda d: -d.fd_strength)
+    return profile

@@ -1,0 +1,52 @@
+"""Dataset registry: look up benchmark datasets by name."""
+
+from __future__ import annotations
+
+from repro.data.generators import (
+    BEERS,
+    BILLIONAIRE,
+    FLIGHTS,
+    HOSPITAL,
+    MOVIES,
+    RAYYAN,
+    TAX,
+)
+from repro.data.generators.base import DatasetSpec
+from repro.data.injector import ErrorProfile, InjectionResult
+from repro.errors import ConfigError
+from repro.ml.rng import RngLike
+
+_REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (HOSPITAL, FLIGHTS, BEERS, RAYYAN, BILLIONAIRE, MOVIES, TAX)
+}
+
+#: The six datasets used in Table III / IV / V comparisons.
+COMPARISON_DATASETS: tuple[str, ...] = (
+    "hospital", "flights", "beers", "rayyan", "billionaire", "movies",
+)
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Fetch a dataset spec by name; raises ConfigError if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
+def make_dataset(
+    name: str,
+    n_rows: int | None = None,
+    seed: RngLike = 0,
+    profile: ErrorProfile | None = None,
+) -> InjectionResult:
+    """Generate a dirty dataset (with ground truth) by name."""
+    return get_dataset(name).make(n_rows=n_rows, seed=seed, profile=profile)

@@ -1,0 +1,163 @@
+"""Declarative data-quality rules shipped with the dataset generators.
+
+NADEEF consumes these rule packs (the paper supplies NADEEF's
+constraints "from existing public code"); the injector and the post-hoc
+error-type classifier consume the functional dependencies.  Keeping the
+rule language in the data layer avoids a baselines→generators import
+cycle and mirrors how real deployments ship rules next to schemas.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.table import Table
+
+
+class Rule:
+    """Base class: a rule yields violating (row, attribute) cells."""
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NotNullRule(Rule):
+    """Flag missing placeholders in ``attr``."""
+
+    attr: str
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.attr not in table.attributes:
+            return []
+        col = table.column_view(self.attr)
+        return [
+            (i, self.attr)
+            for i, v in enumerate(col)
+            if is_missing_placeholder(v)
+        ]
+
+
+@dataclass(frozen=True)
+class PatternRule(Rule):
+    """Flag non-empty values of ``attr`` not fully matching ``regex``."""
+
+    attr: str
+    regex: str
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.attr not in table.attributes:
+            return []
+        compiled = re.compile(self.regex)
+        out = []
+        for i, v in enumerate(table.column_view(self.attr)):
+            if v and compiled.fullmatch(v) is None:
+                out.append((i, self.attr))
+        return out
+
+
+@dataclass(frozen=True)
+class DomainRule(Rule):
+    """Flag non-empty values of ``attr`` outside an allowed set."""
+
+    attr: str
+    allowed: frozenset[str]
+
+    @classmethod
+    def of(cls, attr: str, values: Sequence[str]) -> "DomainRule":
+        return cls(attr, frozenset(values))
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.attr not in table.attributes:
+            return []
+        return [
+            (i, self.attr)
+            for i, v in enumerate(table.column_view(self.attr))
+            if v and v not in self.allowed
+        ]
+
+
+@dataclass(frozen=True)
+class RangeRule(Rule):
+    """Flag numeric values of ``attr`` outside ``[low, high]``.
+
+    Non-numeric, non-empty values are also flagged (they violate the
+    numeric domain implicitly).
+    """
+
+    attr: str
+    low: float
+    high: float
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.attr not in table.attributes:
+            return []
+        out = []
+        for i, v in enumerate(table.column_view(self.attr)):
+            if not v:
+                continue
+            try:
+                num = float(v)
+            except ValueError:
+                out.append((i, self.attr))
+                continue
+            if not self.low <= num <= self.high:
+                out.append((i, self.attr))
+        return out
+
+
+@dataclass(frozen=True)
+class FDRule(Rule):
+    """Functional dependency ``lhs -> rhs`` as a denial constraint.
+
+    NADEEF's denial-constraint semantics flag every cell *involved in a
+    violation instance*: two tuples sharing an lhs value but disagreeing
+    on rhs violate the constraint, and both rhs cells are reported.  In
+    aggregate that flags the rhs cells of every group with more than one
+    distinct rhs value — including the (usually clean) majority side,
+    which is why rule engines report FDs with high recall but modest
+    precision.
+    """
+
+    lhs: str
+    rhs: str
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.lhs not in table.attributes or self.rhs not in table.attributes:
+            return []
+        lhs_col = table.column_view(self.lhs)
+        rhs_col = table.column_view(self.rhs)
+        groups: dict[str, set[str]] = {}
+        for lv, rv in zip(lhs_col, rhs_col):
+            groups.setdefault(lv, set()).add(rv)
+        out = []
+        for i, (lv, rv) in enumerate(zip(lhs_col, rhs_col)):
+            if len(groups[lv]) > 1:
+                out.append((i, self.rhs))
+        return out
+
+
+@dataclass(frozen=True)
+class CheckRule(Rule):
+    """Arbitrary row predicate; flags ``attr`` when the predicate fails."""
+
+    attr: str
+    predicate: Callable[[dict[str, str]], bool]
+    name: str = "check"
+
+    def violations(self, table: Table) -> list[tuple[int, str]]:
+        if self.attr not in table.attributes:
+            return []
+        out = []
+        for i in range(table.n_rows):
+            row = table.row(i)
+            try:
+                ok = bool(self.predicate(row))
+            except Exception:
+                ok = False
+            if not ok:
+                out.append((i, self.attr))
+        return out

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table operation referenced an unknown attribute or mismatched shape."""
+
+
+class DataError(ReproError):
+    """Malformed input data (bad CSV, inconsistent row widths, ...)."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class LLMError(ReproError):
+    """An LLM request could not be served (unknown prompt kind, bad payload)."""
+
+
+class CriteriaError(ReproError):
+    """Generated criterion source failed to compile or was rejected."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted state was called before fitting."""

@@ -1,0 +1,45 @@
+"""LLM layer: client interface, prompts, profiles, simulated backend."""
+
+from repro.llm.client import REQUEST_KINDS, LLMClient, LLMRequest, LLMResponse
+from repro.llm.profiles import (
+    DEFAULT_PROFILE,
+    GPT_4O_MINI,
+    LLAMA_8B,
+    LLAMA_70B,
+    LLMProfile,
+    PROFILES,
+    QWEN_7B,
+    QWEN_72B,
+    get_profile,
+)
+from repro.llm.tokens import TokenLedger, TokenUsage, estimate_tokens
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "GPT_4O_MINI",
+    "LLAMA_70B",
+    "LLAMA_8B",
+    "LLMClient",
+    "LLMProfile",
+    "LLMRequest",
+    "LLMResponse",
+    "PROFILES",
+    "QWEN_72B",
+    "QWEN_7B",
+    "REQUEST_KINDS",
+    "SimulatedLLM",
+    "TokenLedger",
+    "TokenUsage",
+    "estimate_tokens",
+    "get_profile",
+]
+
+
+def __getattr__(name: str):
+    # SimulatedLLM imports repro.criteria (which is cheap) but keeping
+    # the import lazy avoids a hard cycle if criteria ever grows.
+    if name == "SimulatedLLM":
+        from repro.llm.simulated.engine import SimulatedLLM
+
+        return SimulatedLLM
+    raise AttributeError(name)

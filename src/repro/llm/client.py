@@ -1,0 +1,79 @@
+"""The LLM client interface.
+
+Every LLM interaction in the pipeline goes through
+:class:`LLMClient.complete` with a typed :class:`LLMRequest`.  The
+request carries both the *prompt text* (what a real API would receive —
+used for token accounting) and a *structured payload* (the same
+information, machine-readable) so the offline simulated backend can
+respond deterministically.  Swapping in a real API client only requires
+implementing ``_complete`` against the prompt text.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import LLMError
+from repro.llm.tokens import TokenLedger, estimate_tokens
+
+
+#: Request kinds issued by the pipeline and baselines.
+REQUEST_KINDS: tuple[str, ...] = (
+    "criteria",              # error-checking criteria reasoning (§III-B)
+    "analysis_functions",    # distribution-analysis function generation
+    "guideline",             # ED guideline synthesis (Fig. 5)
+    "error_descriptions",    # generic error-type descriptions
+    "label_batch",           # holistic batch labeling (§III-C)
+    "contrastive_criteria",  # criteria refinement (Algorithm 1 lines 4-7)
+    "augment",               # semantic error augmentation (Algorithm 1)
+    "tuple_check",           # FM_ED-style per-tuple query
+)
+
+
+@dataclass
+class LLMRequest:
+    """One LLM call: prompt text plus structured context."""
+
+    kind: str
+    prompt: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise LLMError(f"unknown request kind {self.kind!r}")
+
+
+@dataclass
+class LLMResponse:
+    """The model's reply: text (token-accounted) plus parsed payload."""
+
+    text: str
+    payload: Any = None
+
+
+class LLMClient(abc.ABC):
+    """Abstract LLM client with built-in token accounting."""
+
+    def __init__(self) -> None:
+        self.ledger = TokenLedger()
+
+    @property
+    @abc.abstractmethod
+    def model_name(self) -> str:
+        """Identifier of the underlying model (e.g. 'qwen2.5-72b')."""
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        """Serve a request, recording input/output token usage."""
+        response = self._complete(request)
+        self.ledger.record(
+            request.kind,
+            estimate_tokens(request.prompt),
+            estimate_tokens(response.text),
+        )
+        return response
+
+    @abc.abstractmethod
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        """Produce a response for ``request`` (no accounting here)."""

@@ -1,0 +1,111 @@
+"""HTTP client for OpenAI-compatible chat APIs (vLLM, OpenAI, ...).
+
+The paper runs open models on vLLM and GPT-4o-mini over the OpenAI
+API — both speak the ``/v1/chat/completions`` protocol this client
+targets.  Replies are plain text; :mod:`repro.llm.parsing` converts
+them into the structured payloads the pipeline expects, so ``ZeroED(
+llm=HTTPChatLLM(...))`` is a drop-in swap for the simulated backend.
+
+The transport is injectable, which keeps the client fully testable
+offline (and lets callers add retries/backoff policies).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from collections.abc import Callable
+
+from repro.errors import LLMError
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.llm import parsing
+
+#: transport(url, headers, body_bytes, timeout) -> response text
+Transport = Callable[[str, dict, bytes, float], str]
+
+
+def urllib_transport(
+    url: str, headers: dict, body: bytes, timeout: float
+) -> str:
+    """Default transport over urllib (no third-party dependencies)."""
+    request = urllib.request.Request(
+        url, data=body, headers=headers, method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+class HTTPChatLLM(LLMClient):
+    """Chat-completions client with pipeline-payload parsing."""
+
+    def __init__(
+        self,
+        base_url: str,
+        model: str,
+        api_key: str = "",
+        temperature: float = 0.0,
+        max_tokens: int = 4096,
+        timeout: float = 120.0,
+        transport: Transport = urllib_transport,
+    ) -> None:
+        super().__init__()
+        self.base_url = base_url.rstrip("/")
+        self.model = model
+        self.api_key = api_key
+        self.temperature = temperature
+        self.max_tokens = max_tokens
+        self.timeout = timeout
+        self.transport = transport
+
+    @property
+    def model_name(self) -> str:
+        return self.model
+
+    # ------------------------------------------------------------------
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        text = self._chat(request.prompt)
+        return LLMResponse(
+            text=text, payload=self._parse(request, text)
+        )
+
+    def _chat(self, prompt: str) -> str:
+        body = json.dumps(
+            {
+                "model": self.model,
+                "temperature": self.temperature,
+                "max_tokens": self.max_tokens,
+                "messages": [{"role": "user", "content": prompt}],
+            }
+        ).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        url = f"{self.base_url}/chat/completions"
+        try:
+            raw = self.transport(url, headers, body, self.timeout)
+        except Exception as exc:
+            raise LLMError(f"chat request to {url} failed: {exc}") from exc
+        try:
+            payload = json.loads(raw)
+            return payload["choices"][0]["message"]["content"]
+        except (json.JSONDecodeError, KeyError, IndexError, TypeError) as exc:
+            raise LLMError(f"malformed chat response: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def _parse(self, request: LLMRequest, text: str):
+        kind = request.kind
+        payload = request.payload
+        if kind in ("criteria", "contrastive_criteria"):
+            return parsing.parse_criteria(text, payload.get("attr", ""))
+        if kind == "analysis_functions":
+            return parsing.parse_analysis_functions(text)
+        if kind == "label_batch":
+            return parsing.parse_labels(
+                text, expected=len(payload.get("values", []))
+            )
+        if kind == "augment":
+            return parsing.parse_values(text, limit=payload.get("n"))
+        if kind == "tuple_check":
+            return parsing.parse_tuple_verdicts(text)
+        # guideline / error_descriptions: the text is the payload.
+        return text

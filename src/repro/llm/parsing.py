@@ -1,0 +1,109 @@
+"""Parsers turning raw LLM text into the pipeline's structured payloads.
+
+A real model answers in prose and code fences; the pipeline needs
+criterion specs, 0/1 label lists, augmented value lists, per-attribute
+verdicts.  These parsers are shared by any text-in/text-out client
+(:class:`~repro.llm.http_client.HTTPChatLLM`) and are deliberately
+lenient — models decorate output, and a parse miss should degrade to
+"no answer" rather than crash the pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CODE_FENCE = re.compile(r"```(?:python)?\s*\n(.*?)```", re.DOTALL)
+_DEF_RE = re.compile(r"^def\s+([A-Za-z_]\w*)\s*\(", re.MULTILINE)
+_LABEL_RE = re.compile(r"[01]")
+_YES_NO_RE = re.compile(
+    r"([A-Za-z_][\w ]*?)\s*[:\-]\s*(yes|no)\b", re.IGNORECASE
+)
+_ROW_ATTR_RE = re.compile(r"row\.get\(\s*['\"]([^'\"]+)['\"]", re.DOTALL)
+_ROW_INDEX_RE = re.compile(r"row\[\s*['\"]([^'\"]+)['\"]\s*\]")
+
+
+def extract_code_blocks(text: str) -> list[str]:
+    """All fenced code blocks; falls back to the whole text if it looks
+    like bare code (starts with def/import)."""
+    blocks = [m.group(1).strip() for m in _CODE_FENCE.finditer(text)]
+    if blocks:
+        return blocks
+    stripped = text.strip()
+    if stripped.startswith(("def ", "import ", "from ")):
+        return [stripped]
+    return []
+
+
+def split_functions(block: str) -> list[tuple[str, str]]:
+    """Split a code block into (name, source) per top-level def."""
+    matches = list(_DEF_RE.finditer(block))
+    out = []
+    for i, match in enumerate(matches):
+        start = match.start()
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(block)
+        out.append((match.group(1), block[start:end].rstrip() + "\n"))
+    return out
+
+
+def parse_criteria(text: str, attr: str) -> list[dict]:
+    """Parse criterion function sources out of an LLM reply.
+
+    ``context_attrs`` is inferred from the source: any attribute other
+    than ``attr`` accessed via ``row[...]`` / ``row.get(...)``.
+    """
+    specs = []
+    for block in extract_code_blocks(text):
+        for name, source in split_functions(block):
+            accessed = set(_ROW_ATTR_RE.findall(source))
+            accessed |= set(_ROW_INDEX_RE.findall(source))
+            accessed.discard(attr)
+            # 'attr' is the parameter name, not a column.
+            accessed.discard("attr")
+            specs.append(
+                {
+                    "name": name,
+                    "source": source,
+                    "context_attrs": sorted(accessed),
+                }
+            )
+    return specs
+
+
+def parse_analysis_functions(text: str) -> list[dict]:
+    """Parse distribution-analysis function sources."""
+    specs = []
+    for block in extract_code_blocks(text):
+        for name, source in split_functions(block):
+            specs.append({"name": name, "source": source})
+    return specs
+
+
+def parse_labels(text: str, expected: int) -> list[int]:
+    """Parse a 0/1 label sequence; short answers pad with 0 (clean)."""
+    labels = [int(ch) for ch in _LABEL_RE.findall(text)][:expected]
+    while len(labels) < expected:
+        labels.append(0)
+    return labels
+
+
+def parse_values(text: str, limit: int | None = None) -> list[str]:
+    """Parse one generated value per non-empty line, stripping bullets."""
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        line = re.sub(r"^(?:[-*•]|\d+[.)])\s*", "", line)
+        line = line.strip("\"'")
+        if line:
+            out.append(line)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def parse_tuple_verdicts(text: str) -> dict[str, bool]:
+    """Parse 'attr: yes/no' verdicts from a tuple-check reply."""
+    out: dict[str, bool] = {}
+    for match in _YES_NO_RE.finditer(text):
+        attr = match.group(1).strip()
+        out[attr] = match.group(2).lower() == "yes"
+    return out

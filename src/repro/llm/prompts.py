@@ -1,0 +1,145 @@
+"""Prompt templates and tabular serialization (paper §III-B / Fig. 5).
+
+Templates are universal across datasets — the only human effort the
+framework requires.  Serialization follows the paper: a tuple becomes a
+string of ``attribute: value`` pairs, NULLs rendered as empty strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def serialize_tuple(row: Mapping[str, str]) -> str:
+    """``{a1: v1, a2: v2, ...}`` serialization of one tuple."""
+    inner = ", ".join(f"{attr}: {value}" for attr, value in row.items())
+    return "{" + inner + "}"
+
+
+def serialize_rows(rows: Sequence[Mapping[str, str]]) -> str:
+    """Newline-joined serialization of several tuples."""
+    return "\n".join(serialize_tuple(r) for r in rows)
+
+
+ERROR_DESCRIPTIONS = """\
+Common error types in tabular data:
+1. Missing values: empty fields, NULLs, or placeholder markers (N/A, -, ?).
+2. Typos: misspellings or character-level mistakes from manual input.
+3. Pattern violations: values whose format differs from the attribute's
+   expected format (dates, codes, phone numbers, identifiers).
+4. Outliers: values far outside the attribute's statistical distribution
+   or expected domain.
+5. Rule violations: inconsistencies across related attributes, where one
+   attribute's value contradicts what another determines.
+"""
+
+
+CRITERIA_PROMPT = """\
+You are a top data scientist in data cleaning. For the attribute
+'{attr}' of the '{dataset}' table, reason about possible error causes
+and write executable Python error-checking criteria.
+
+Each criterion must be a function `def is_clean_<aspect>(row, attr)` that
+returns True when the value `row[attr]` looks clean from that aspect.
+
+Here are randomly sampled tuples from the table:
+{samples}
+
+{error_descriptions}
+Generate multi-perspective criteria (missing, format, domain/range, and
+consistency with the correlated attributes {correlated}) tailored to
+this attribute. Import anything you need inside the functions.
+"""
+
+
+ANALYSIS_FUNCTIONS_PROMPT = """\
+Based on the column '{attr}' of the '{dataset}' table with examples:
+{samples}
+
+Please generate Python functions to analyze the data distribution from
+various perspectives, so that we can verify whether an error is
+reasonable or not. Each function should:
+1. Take parameters (table, attr_name)
+2. Return a string containing the detailed analysis results
+3. Not enumerate all values, showing representative ones
+4. Import necessary libraries inside the function
+
+Example function code snippet:
+```python
+def distr_analysis_<perspective>(table, attr_name):
+    # Your logic here
+    return 'Detailed description of the analysis results'
+```
+"""
+
+
+GUIDELINE_PROMPT = """\
+You are a top data scientist in data cleaning. Please generate a
+comprehensive guideline for identifying and analyzing common errors in
+the '{attr}' attribute of the '{dataset}' table.
+
+Here is the data distribution analysis for the attribute '{attr}':
+{analysis}
+
+Here are examples for '{attr}' with strongly correlated attribute values:
+{samples}
+
+Please first explain the meaning of attribute '{attr}'. Then, for each
+error type below, considering the data distribution analysis results,
+provide specific causes, examples, and detection methods for '{attr}':
+{error_descriptions}
+NOTE: When analyzing potential errors, only flag values as errors when
+you have high confidence.
+"""
+
+
+LABEL_BATCH_PROMPT = """\
+You are a meticulous data-cleaning expert. Using the following error
+detection guideline for attribute '{attr}' of the '{dataset}' table,
+decide for each listed value whether it is erroneous (1) or clean (0).
+
+Guideline:
+{guideline}
+
+Values to label (each with its correlated attribute context):
+{batch}
+
+Answer with one 0/1 label per value, in order.
+"""
+
+
+CONTRASTIVE_CRITERIA_PROMPT = """\
+You are refining error-checking criteria for attribute '{attr}' of the
+'{dataset}' table via contrastive examples.
+
+Values labeled ERRONEOUS:
+{error_values}
+
+Values labeled CLEAN:
+{clean_values}
+
+Study the subtle distinctions between the two groups and output improved
+executable Python criteria `def is_clean_<aspect>(row, attr)` that accept
+the clean values and reject the erroneous ones.
+"""
+
+
+AUGMENT_PROMPT = """\
+You are generating realistic erroneous variants for data augmentation.
+
+Task: for attribute '{attr}' of the '{dataset}' table, produce {n} new
+erroneous values that maintain semantic similarity with the examples
+while reflecting realistic error scenarios.
+
+Example clean values: {clean_values}
+Example observed errors and their apparent reasons: {error_desc}
+"""
+
+
+TUPLE_CHECK_PROMPT = """\
+Is there an error in this tuple from the '{dataset}' table?
+
+{tuple}
+
+For each attribute, answer yes or no.
+"""

@@ -1,0 +1,19 @@
+"""Deterministic offline LLM backend (see DESIGN.md §1)."""
+
+from repro.llm.simulated import (  # noqa: F401  (re-exported submodules)
+    analysis_gen,
+    augment,
+    codegen,
+    guidelines_gen,
+    labeling,
+    tuple_check,
+)
+
+__all__ = [
+    "analysis_gen",
+    "augment",
+    "codegen",
+    "guidelines_gen",
+    "labeling",
+    "tuple_check",
+]

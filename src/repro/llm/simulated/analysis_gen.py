@@ -1,0 +1,115 @@
+"""Synthesis of distribution-analysis functions (simulated LLM).
+
+Step one of the paper's guideline generation (Fig. 5): the LLM writes
+Python functions ``distr_analysis_<perspective>(table, attr_name)`` that
+parse the *whole* dataset and return textual analysis results.  The
+simulator emits self-contained sources against the library's ``Table``
+API (``table.column_view(attr_name)`` yields the cell list), covering
+the perspectives the paper names: value distribution, missing values,
+format patterns, and numeric statistics.
+"""
+
+from __future__ import annotations
+
+
+def value_distribution_function() -> dict:
+    source = '''\
+def distr_analysis_value_distribution(table, attr_name):
+    from collections import Counter
+    col = list(table.column_view(attr_name))
+    counts = Counter(col)
+    total = len(col)
+    top = counts.most_common(8)
+    lines = [f"Total records: {total}", f"Distinct values: {len(counts)}"]
+    lines.append("Most common values:")
+    for value, count in top:
+        shown = value if value else "<empty>"
+        lines.append(f"  {shown!r}: {count} ({100.0 * count / total:.2f}%)")
+    rare = sum(1 for c in counts.values() if c == 1)
+    lines.append(f"Values occurring once: {rare} ({100.0 * rare / total:.2f}%)")
+    return "\\n".join(lines)
+'''
+    return {"name": "distr_analysis_value_distribution", "source": source}
+
+
+def missing_function() -> dict:
+    source = '''\
+def distr_analysis_missing(table, attr_name):
+    col = list(table.column_view(attr_name))
+    placeholders = {"", "null", "n/a", "na", "-", "?", "unknown", "missing"}
+    n_missing = sum(1 for v in col if v.strip().lower() in placeholders)
+    total = len(col)
+    return (f"Missing values: {n_missing} "
+            f"({100.0 * n_missing / max(total, 1):.2f}%) of {total} records")
+'''
+    return {"name": "distr_analysis_missing", "source": source}
+
+
+def pattern_function() -> dict:
+    source = '''\
+def distr_analysis_pattern(table, attr_name):
+    from collections import Counter
+
+    def shape(value):
+        out = []
+        last = None
+        for ch in value:
+            if ch.isupper():
+                cls = "U"
+            elif ch.islower():
+                cls = "l"
+            elif ch.isdigit():
+                cls = "9"
+            else:
+                cls = ch
+            if cls != last:
+                out.append(cls)
+                last = cls
+        return "".join(out)
+
+    col = list(table.column_view(attr_name))
+    shapes = Counter(shape(v) for v in col if v)
+    total = max(sum(shapes.values()), 1)
+    lines = ["Format shape distribution (U=upper l=lower 9=digit):"]
+    for s, count in shapes.most_common(6):
+        lines.append(f"  {s!r}: {count} ({100.0 * count / total:.2f}%)")
+    lines.append(f"Distinct shapes: {len(shapes)}")
+    return "\\n".join(lines)
+'''
+    return {"name": "distr_analysis_pattern", "source": source}
+
+
+def numeric_function() -> dict:
+    source = '''\
+def distr_analysis_numeric(table, attr_name):
+    col = list(table.column_view(attr_name))
+    numbers = []
+    for v in col:
+        try:
+            numbers.append(float(v))
+        except (TypeError, ValueError):
+            pass
+    if not numbers:
+        return "Numeric analysis: no numeric values in this attribute."
+    numbers.sort()
+    n = len(numbers)
+    q = lambda p: numbers[min(n - 1, int(p * n))]
+    return (f"Numeric analysis: {n}/{len(col)} values numeric; "
+            f"min={numbers[0]:.4g}, p25={q(0.25):.4g}, median={q(0.5):.4g}, "
+            f"p75={q(0.75):.4g}, max={numbers[-1]:.4g}")
+'''
+    return {"name": "distr_analysis_numeric", "source": source}
+
+
+def generate_analysis_functions(coverage: float, rng) -> list[dict]:
+    """Emit the analysis-function set, thinned by profile coverage.
+
+    The value-distribution perspective is always emitted — every model
+    in the paper's comparison produced at least basic frequency
+    analysis.
+    """
+    out = [value_distribution_function()]
+    for cand in (missing_function(), pattern_function(), numeric_function()):
+        if rng.random() <= coverage:
+            out.append(cand)
+    return out

@@ -1,0 +1,103 @@
+"""Semantic error augmentation (simulated LLM; Algorithm 1 line 25).
+
+Given verified clean example values, produce additional *erroneous*
+values that stay semantically close while reflecting realistic error
+scenarios — the paper's answer to class imbalance.  The simulator
+perturbs real clean values with the same operations human typists and
+messy imports produce; profile ``augment_fidelity`` controls how often
+the "model" produces a genuinely erroneous, usable variant.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from repro.data.errortypes import MISSING_PLACEHOLDERS
+
+
+def _typo(value: str, rng: np.random.Generator) -> str:
+    if len(value) < 2:
+        return value + "x"
+    pos = int(rng.integers(len(value)))
+    op = int(rng.integers(3))
+    if op == 0 and pos + 1 < len(value):
+        chars = list(value)
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+        return "".join(chars)
+    if op == 1:
+        return value[:pos] + value[pos + 1 :]
+    pool = string.digits if value[pos].isdigit() else string.ascii_lowercase
+    ch = pool[int(rng.integers(len(pool)))]
+    if ch == value[pos]:
+        ch = "q" if value[pos] != "q" else "z"
+    return value[:pos] + ch + value[pos + 1 :]
+
+
+def _format_break(value: str, rng: np.random.Generator) -> str:
+    ops = (
+        lambda v: v.upper(),
+        lambda v: v.lower(),
+        lambda v: v.replace(" ", ""),
+        lambda v: v.replace("-", "/") if "-" in v else v + "-",
+        lambda v: f"0{v}" if v and v[0].isdigit() else f"{v}.",
+    )
+    out = ops[int(rng.integers(len(ops)))](value)
+    return out if out != value else f"_{value}"
+
+
+def _numeric_shift(value: str, rng: np.random.Generator) -> str:
+    try:
+        num = float(value)
+    except (TypeError, ValueError):
+        return _typo(value, rng)
+    factor = float(rng.choice([0.01, 0.1, 10.0, 100.0]))
+    shifted = num * factor
+    if value.lstrip("-").isdigit():
+        return str(int(shifted))
+    return f"{shifted:.3f}"
+
+
+def _placeholder(rng: np.random.Generator) -> str:
+    pool = [p for p in MISSING_PLACEHOLDERS if p]
+    return pool[int(rng.integers(len(pool)))]
+
+
+def generate_error_values(
+    clean_values: list[str],
+    n: int,
+    fidelity: float,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Produce ``n`` erroneous variants of the given clean values.
+
+    With probability ``1 - fidelity`` the "model" fails and returns the
+    value unperturbed (a useless augmentation example, which the
+    pipeline's verification later discards).
+    """
+    if not clean_values:
+        return []
+    out = []
+    distinct = sorted(set(clean_values))
+
+    def _swap(value: str, rng: np.random.Generator) -> str:
+        # Value swap: a *valid-looking* value that belongs elsewhere —
+        # the rule-violation error shape (wrong city for the zip).
+        alternatives = [v for v in distinct if v != value]
+        if not alternatives:
+            return _typo(value, rng)
+        return alternatives[int(rng.integers(len(alternatives)))]
+
+    mutators = (_typo, _format_break, _numeric_shift, _swap)
+    for _ in range(n):
+        base = clean_values[int(rng.integers(len(clean_values)))]
+        if rng.random() > fidelity:
+            out.append(base)
+            continue
+        if rng.random() < 0.15 or not base:
+            out.append(_placeholder(rng))
+            continue
+        mutate = mutators[int(rng.integers(len(mutators)))]
+        out.append(mutate(base, rng))
+    return out

@@ -1,0 +1,245 @@
+"""Synthesis of executable error-checking criteria (simulated LLM).
+
+The real system prompts an LLM with sampled tuples and receives Python
+functions like Fig. 4's ``is_clean_hour_range``.  The simulator plays
+that role: it inspects the sampled rows and *writes Python source
+strings* for multi-perspective checks — missing, format (a regex
+induced from the samples' character-class structure), numeric range,
+small-domain membership, and cross-attribute consistency.  The emitted
+code is self-contained (only stdlib imports) and is compiled and
+executed by the pipeline exactly as LLM-generated code would be.
+
+Each criterion is returned as a dict::
+
+    {"name": str, "source": str, "context_attrs": [str, ...]}
+
+``context_attrs`` lists the other attributes the check reads, which the
+pipeline uses to cache executions per distinct value tuple.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+import numpy as np
+
+from repro.data.errortypes import is_missing_placeholder
+
+
+def _char_class(ch: str) -> str:
+    if ch.isdigit():
+        return r"\d"
+    if ch.isalpha():
+        return "[A-Z]" if ch.isupper() else "[a-z]"
+    return re.escape(ch)
+
+
+def _value_regex(value: str) -> str:
+    """Regex for one value's character-class run structure."""
+    if not value:
+        return ""
+    parts: list[str] = []
+    run_class = _char_class(value[0])
+    run_len = 1
+    for ch in value[1:]:
+        cls = _char_class(ch)
+        if cls == run_class:
+            run_len += 1
+            continue
+        parts.append(_quantify(run_class, run_len))
+        run_class, run_len = cls, 1
+    parts.append(_quantify(run_class, run_len))
+    return "".join(parts)
+
+
+def _quantify(cls: str, length: int) -> str:
+    if cls in (r"\d", "[A-Z]", "[a-z]"):
+        # Loosen run lengths a little: real LLMs write tolerant regexes.
+        lo = max(1, length - 1)
+        hi = length + 2
+        return f"{cls}{{{lo},{hi}}}" if (lo, hi) != (1, 1) else cls
+    return cls * length
+
+
+def induce_pattern_regex(values: list[str], max_alternatives: int = 6) -> str | None:
+    """A union regex covering the dominant formats among ``values``."""
+    regexes = Counter(
+        _value_regex(v) for v in values if v and not is_missing_placeholder(v)
+    )
+    if not regexes:
+        return None
+    top = [rx for rx, _ in regexes.most_common(max_alternatives) if rx]
+    if not top:
+        return None
+    return "|".join(f"(?:{rx})" for rx in top)
+
+
+# ----------------------------------------------------------------------
+# Criterion source templates
+# ----------------------------------------------------------------------
+def missing_criterion() -> dict:
+    source = '''\
+def is_clean_not_missing(row, attr):
+    value = row[attr]
+    if value is None:
+        return False
+    stripped = value.strip()
+    placeholders = {"", "null", "n/a", "na", "-", "?", "unknown", "missing"}
+    return stripped.lower() not in placeholders
+'''
+    return {"name": "is_clean_not_missing", "source": source, "context_attrs": []}
+
+
+def pattern_criterion(values: list[str]) -> dict | None:
+    regex = induce_pattern_regex(values)
+    if regex is None:
+        return None
+    source = f'''\
+def is_clean_pattern(row, attr):
+    import re
+    value = row[attr]
+    if not value:
+        return False
+    return re.fullmatch(r"{regex}", value) is not None
+'''
+    return {"name": "is_clean_pattern", "source": source, "context_attrs": []}
+
+
+def range_criterion(
+    values: list[str], noise: float, rng: np.random.Generator
+) -> dict | None:
+    numbers = []
+    for v in values:
+        try:
+            numbers.append(float(v))
+        except (TypeError, ValueError):
+            pass
+    if len(numbers) < max(3, 0.7 * len([v for v in values if v])):
+        return None
+    lo, hi = min(numbers), max(numbers)
+    span = (hi - lo) or max(abs(hi), 1.0)
+    # Widen by half a span (samples under-cover the true range) and add
+    # profile-controlled sloppiness.
+    margin = span * (0.5 + float(rng.uniform(0, noise * 2)))
+    lo_b, hi_b = lo - margin, hi + margin
+    source = f'''\
+def is_clean_range(row, attr):
+    value = row[attr]
+    try:
+        num = float(value)
+    except (TypeError, ValueError):
+        return False
+    return {lo_b!r} <= num <= {hi_b!r}
+'''
+    return {"name": "is_clean_range", "source": source, "context_attrs": []}
+
+
+def domain_criterion(values: list[str]) -> dict | None:
+    non_empty = [v for v in values if v and not is_missing_placeholder(v)]
+    if not non_empty:
+        return None
+    distinct = sorted(set(non_empty))
+    # Only plausible for enum-like attributes: few distinct short values
+    # that each repeat within the sample.
+    if len(distinct) > max(3, len(non_empty) // 6):
+        return None
+    if any(len(v) > 40 for v in distinct):
+        return None
+    source = f'''\
+def is_clean_domain(row, attr):
+    value = row[attr]
+    if not value:
+        return False
+    return value in {distinct!r}
+'''
+    return {"name": "is_clean_domain", "source": source, "context_attrs": []}
+
+
+def consistency_criterion(
+    attr: str, other: str, rows: list[dict]
+) -> dict | None:
+    """Cross-attribute check: ``other``'s value determines ``attr``'s.
+
+    Builds a mapping from the sampled rows (the Fig. 4 Hospital example
+    hard-codes exactly this kind of learned mapping).  Unseen ``other``
+    values pass — a criterion can only vouch for what it has seen.
+    """
+    groups: dict[str, Counter] = {}
+    for row in rows:
+        lhs = row.get(other, "")
+        rhs = row.get(attr, "")
+        if lhs and rhs:
+            groups.setdefault(lhs, Counter())[rhs] += 1
+    mapping = {
+        lhs: counts.most_common(1)[0][0]
+        for lhs, counts in groups.items()
+        if sum(counts.values()) >= 3
+        and counts.most_common(1)[0][1] / sum(counts.values()) >= 0.75
+    }
+    if len(mapping) < 2:
+        return None
+    fn_name = f"is_clean_consistent_with_{_safe(other)}"
+    source = f'''\
+def {fn_name}(row, attr):
+    mapping = {mapping!r}
+    lhs = row.get({other!r}, "")
+    expected = mapping.get(lhs)
+    if expected is None:
+        return True
+    return row[attr] == expected
+'''
+    return {"name": fn_name, "source": source, "context_attrs": [other]}
+
+
+def length_criterion(values: list[str]) -> dict | None:
+    lengths = [len(v) for v in values if v and not is_missing_placeholder(v)]
+    if len(lengths) < 3:
+        return None
+    lo = max(1, min(lengths) - 2)
+    hi = max(lengths) + max(4, max(lengths) // 2)
+    source = f'''\
+def is_clean_length(row, attr):
+    value = row[attr]
+    if not value:
+        return False
+    return {lo} <= len(value) <= {hi}
+'''
+    return {"name": "is_clean_length", "source": source, "context_attrs": []}
+
+
+def _safe(name: str) -> str:
+    return re.sub(r"\W+", "_", name)
+
+
+# ----------------------------------------------------------------------
+# Criteria assembly
+# ----------------------------------------------------------------------
+def generate_criteria(
+    attr: str,
+    sample_rows: list[dict],
+    correlated: list[str],
+    coverage: float,
+    noise: float,
+    rng: np.random.Generator,
+) -> list[dict]:
+    """Assemble the multi-perspective criteria set for one attribute."""
+    values = [row.get(attr, "") for row in sample_rows]
+    candidates: list[dict | None] = [missing_criterion()]
+    candidates.append(range_criterion(values, noise, rng))
+    # A pattern regex on free numerics is redundant with the range check.
+    if candidates[-1] is None:
+        candidates.append(pattern_criterion(values))
+    candidates.append(domain_criterion(values))
+    candidates.append(length_criterion(values))
+    for other in correlated:
+        candidates.append(consistency_criterion(attr, other, sample_rows))
+    out = []
+    for cand in candidates:
+        if cand is None:
+            continue
+        if rng.random() <= coverage:
+            out.append(cand)
+    if not out:
+        out.append(missing_criterion())
+    return out

@@ -1,0 +1,172 @@
+"""The simulated LLM backend.
+
+Implements :class:`~repro.llm.client.LLMClient` entirely offline.  Each
+request kind the ZeroED pipeline (or a baseline) issues is served by a
+deterministic reasoning module; the configured
+:class:`~repro.llm.profiles.LLMProfile` injects model-dependent
+coverage and noise so the Table V model comparison is meaningful.
+
+Determinism: every response is a pure function of (profile, request
+payload, client seed), so experiment runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.criteria import compile_criteria
+from repro.errors import LLMError
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.llm.profiles import DEFAULT_PROFILE, LLMProfile
+from repro.llm.simulated import (
+    analysis_gen,
+    augment,
+    codegen,
+    guidelines_gen,
+    labeling,
+    tuple_check,
+)
+from repro.llm.prompts import ERROR_DESCRIPTIONS
+from repro.ml.rng import spawn
+
+
+class SimulatedLLM(LLMClient):
+    """Offline deterministic stand-in for an LLM API."""
+
+    def __init__(self, profile: LLMProfile = DEFAULT_PROFILE, seed: int = 0) -> None:
+        super().__init__()
+        self.profile = profile
+        self.seed = seed
+
+    @property
+    def model_name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        handler = getattr(self, f"_handle_{request.kind}", None)
+        if handler is None:
+            raise LLMError(f"simulated backend cannot serve {request.kind!r}")
+        return handler(request)
+
+    def _rng(self, *key_parts: object):
+        key = "/".join(str(p) for p in key_parts)
+        return spawn(self.seed + self.profile.seed_salt, key)
+
+    # ------------------------------------------------------------------
+    # Handlers, one per request kind
+    # ------------------------------------------------------------------
+    def _handle_criteria(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng("criteria", p["dataset"], p["attr"])
+        specs = codegen.generate_criteria(
+            attr=p["attr"],
+            sample_rows=p["sample_rows"],
+            correlated=p.get("correlated", []),
+            coverage=self.profile.criteria_coverage,
+            noise=self.profile.criteria_noise,
+            rng=rng,
+        )
+        text = "\n\n".join(s["source"] for s in specs)
+        return LLMResponse(text=text, payload=specs)
+
+    def _handle_analysis_functions(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng("analysis", p["dataset"], p["attr"])
+        specs = analysis_gen.generate_analysis_functions(
+            coverage=self.profile.criteria_coverage, rng=rng
+        )
+        text = "\n\n".join(s["source"] for s in specs)
+        return LLMResponse(text=text, payload=specs)
+
+    def _handle_guideline(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        text = guidelines_gen.generate_guideline(
+            dataset=p["dataset"],
+            attr=p["attr"],
+            analysis_text=p.get("analysis_text", ""),
+            example_block=p.get("example_block", ""),
+        )
+        return LLMResponse(text=text, payload=text)
+
+    def _handle_error_descriptions(self, request: LLMRequest) -> LLMResponse:
+        return LLMResponse(text=ERROR_DESCRIPTIONS, payload=ERROR_DESCRIPTIONS)
+
+    def _handle_label_batch(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng(
+            "label", p["dataset"], p["attr"], p.get("batch_id", 0)
+        )
+        labels = labeling.label_batch(
+            values=p["values"],
+            contexts=p["contexts"],
+            stats=p["stats"],
+            pair_stats=p.get("pair_stats", {}),
+            guided=p.get("guided", True),
+            recall_by_type=self.profile.recall,
+            false_positive_rate=self.profile.false_positive_rate,
+            rng=rng,
+        )
+        text = " ".join(str(v) for v in labels)
+        return LLMResponse(text=text, payload=labels)
+
+    def _handle_contrastive_criteria(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng("contrastive", p["dataset"], p["attr"])
+        # Refinement: regenerate from *labeled-clean* rows (a larger,
+        # cleaner basis than the random init sample), then self-check
+        # against the contrastive error examples.
+        specs = codegen.generate_criteria(
+            attr=p["attr"],
+            sample_rows=p["clean_rows"],
+            correlated=p.get("correlated", []),
+            coverage=min(1.0, self.profile.criteria_coverage + 0.05),
+            noise=self.profile.criteria_noise,
+            rng=rng,
+        )
+        # Error examples keep their row context so context-dependent
+        # criteria (cross-attribute consistency) are judged fairly.
+        error_rows = p.get("error_rows") or [
+            {p["attr"]: v} for v in p.get("error_values", [])
+        ]
+        kept = []
+        compiled = {c.name: c for c in compile_criteria(p["attr"], specs)}
+        for spec in specs:
+            crit = compiled.get(spec["name"])
+            if crit is None:
+                continue
+            clean_pass = crit.accuracy_on(p["clean_rows"])
+            error_pass = crit.accuracy_on(error_rows) if error_rows else 0.0
+            # Keep checks that accept the clean side; discrimination on
+            # the error side is a bonus (missing checks pass clean
+            # errors through, e.g. typos, and are still useful).
+            if clean_pass >= 0.7 and (not error_rows or error_pass <= 0.8
+                                      or clean_pass - error_pass >= 0.1):
+                kept.append(spec)
+        if not kept:
+            kept = specs[:1]
+        text = "\n\n".join(s["source"] for s in kept)
+        return LLMResponse(text=text, payload=kept)
+
+    def _handle_augment(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng("augment", p["dataset"], p["attr"])
+        values = augment.generate_error_values(
+            clean_values=p["clean_values"],
+            n=p["n"],
+            fidelity=self.profile.augment_fidelity,
+            rng=rng,
+        )
+        return LLMResponse(text="\n".join(values), payload=values)
+
+    def _handle_tuple_check(self, request: LLMRequest) -> LLMResponse:
+        p = request.payload
+        rng = self._rng("tuple", p["dataset"], p.get("row_id", 0))
+        verdicts = tuple_check.check_tuple(
+            row=p["row"],
+            false_positive_rate=self.profile.false_positive_rate / 4,
+            rng=rng,
+        )
+        # FM_ED-style terse feedback (the paper: "only yes/no feedback
+        # without further error reasoning insights").
+        flagged = [attr for attr, bad in verdicts.items() if bad]
+        text = f"yes: {', '.join(flagged)}" if flagged else "no"
+        return LLMResponse(text=text, payload=verdicts)

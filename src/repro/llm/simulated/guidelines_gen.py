@@ -1,0 +1,91 @@
+"""Guideline text synthesis (simulated LLM; Fig. 5 step two).
+
+Composes a data-specific ED guideline in the structure the paper shows:
+attribute meaning, then per error type the causes, examples and
+detection methods, grounded in the distribution analysis output.  The
+text matters for two things downstream: it is what the labeling prompt
+embeds (token accounting) and its presence/absence drives the
+w/o-Guid. ablation.
+"""
+
+from __future__ import annotations
+
+_ERROR_SECTIONS = (
+    (
+        "Missing values",
+        "fields left empty at entry time or replaced by placeholders",
+        "look for empty strings and markers like NULL, N/A, '-', '?'",
+    ),
+    (
+        "Typos",
+        "manual input slips: swapped, dropped, or substituted characters",
+        "compare rare values against frequent near-identical values "
+        "(small edit distance)",
+    ),
+    (
+        "Pattern violations",
+        "data imported from sources with different conventions",
+        "derive the dominant format shapes from the distribution analysis "
+        "and flag values whose shape is unseen or very rare",
+    ),
+    (
+        "Outliers",
+        "measurement or unit mistakes producing extreme magnitudes",
+        "flag numerics far outside the robust range implied by the "
+        "median and quartiles in the analysis",
+    ),
+    (
+        "Rule violations",
+        "updates applied to one attribute but not its dependent partner",
+        "check the value against what strongly correlated attributes "
+        "determine for this row; contradictions with a confident "
+        "majority mapping are violations",
+    ),
+)
+
+
+def generate_guideline(
+    dataset: str,
+    attr: str,
+    analysis_text: str,
+    example_block: str,
+) -> str:
+    """Compose the guideline markdown for one attribute."""
+    analysis = analysis_text.strip()
+    if len(analysis) > 2000:
+        # Real guidelines condense the analysis rather than quoting it
+        # in full; keep prompts (and token bills) bounded.
+        analysis = analysis[:2000] + "\n... (analysis condensed)"
+    lines = [
+        f"# Error detection guideline: '{attr}' in '{dataset}'",
+        "",
+        f"Explanation of the attribute: '{attr}' stores the values "
+        f"observed for this field across all records of '{dataset}'. "
+        "Its expected content is characterised by the distribution "
+        "analysis below.",
+        "",
+        "## Data distribution analysis",
+        analysis,
+        "",
+        "## Representative examples (with correlated attribute values)",
+        example_block.strip(),
+        "",
+        "## Error types and analysis",
+    ]
+    for i, (title, causes, method) in enumerate(_ERROR_SECTIONS, start=1):
+        lines.extend(
+            [
+                f"### {i}. {title}",
+                f"- causes: {causes}.",
+                f"- detection methods: {method}.",
+                "- examples: values in this attribute deviating as described "
+                "above, judged against the distribution analysis results.",
+            ]
+        )
+    lines.append(
+        "By systematically identifying these errors, you can ensure the "
+        f"attribute data in the '{dataset}' table is clean for further "
+        "analysis. Only flag values as errors when you have high "
+        "confidence."
+    )
+    return "\n".join(lines)

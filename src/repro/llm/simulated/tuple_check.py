@@ -1,0 +1,83 @@
+"""Per-tuple error querying (simulated LLM; the FM_ED baseline's prompt).
+
+FM_ED asks "is there an error in this tuple?" with *no dataset
+context*, so the simulated model can only apply generic pretrained
+plausibility knowledge to each cell: missing markers, junk strings,
+malformed instances of universally known formats (clock times, dates,
+zip-like codes), and absurd magnitudes.  This reproduces the paper's
+Table I characterisation — FM_ED handles missing values and surface
+anomalies but cannot see pattern conventions, distribution outliers or
+cross-tuple rules.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.data.errortypes import is_missing_placeholder
+from repro.llm.simulated import world
+
+_TIME_RE = re.compile(r"(\d{1,2})[:.](\d{2})(\s*[ap]\.?m\.?)?", re.IGNORECASE)
+_DATE_RE = re.compile(r"(\d{4})-(\d{1,2})-(\d{1,2})")
+
+
+def _malformed_time(value: str) -> bool:
+    match = _TIME_RE.fullmatch(value.strip())
+    if match is None:
+        return False
+    hour, minute = int(match.group(1)), int(match.group(2))
+    has_meridiem = match.group(3) is not None
+    max_hour = 12 if has_meridiem else 23
+    return hour < (1 if has_meridiem else 0) or hour > max_hour or minute > 59
+
+
+def _malformed_date(value: str) -> bool:
+    match = _DATE_RE.fullmatch(value.strip())
+    if match is None:
+        return False
+    year, month, day = (int(g) for g in match.groups())
+    return not (1800 <= year <= 2100 and 1 <= month <= 12 and 1 <= day <= 31)
+
+
+def _junk_string(value: str) -> bool:
+    stripped = value.strip()
+    if not stripped:
+        return False
+    lowered = stripped.lower()
+    if any(m in lowered for m in ("###", "!!", "zzz", "99999999")):
+        return True
+    if stripped.startswith("@") or stripped.endswith("@"):
+        return True
+    if "--" in stripped and not any(ch.isalpha() for ch in stripped.split("--")[-1]):
+        return True
+    symbols = sum(1 for ch in stripped if not ch.isalnum() and not ch.isspace())
+    return symbols / len(stripped) > 0.5
+
+
+def check_tuple(
+    row: dict[str, str],
+    false_positive_rate: float,
+    rng: np.random.Generator,
+) -> dict[str, bool]:
+    """Per-attribute yes/no verdicts for one serialized tuple."""
+    verdicts: dict[str, bool] = {}
+    contradicted = set(world.relation_contradictions(row))
+    for attr, value in row.items():
+        # Bare empties are tolerated: without column context the model
+        # cannot know whether a field is optional.  Explicit markers
+        # (NULL, N/A, '?') are always suspicious.
+        explicit_missing = bool(value.strip()) and is_missing_placeholder(value)
+        flagged = (
+            explicit_missing
+            or _junk_string(value)
+            or _malformed_time(value)
+            or _malformed_date(value)
+            or attr in contradicted
+            or world.looks_misspelled(value)
+        )
+        if not flagged and rng.random() <= false_positive_rate:
+            flagged = True
+        verdicts[attr] = flagged
+    return verdicts

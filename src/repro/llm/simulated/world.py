@@ -1,0 +1,155 @@
+"""Simulated 'pretrained world knowledge'.
+
+A real LLM arrives knowing public facts — US cities and their states,
+that SCIP measure codes concern surgical infection prevention, common
+English words and names.  That knowledge is what lets FM_ED-style
+per-tuple prompting catch *some* errors without any dataset context.
+This module reconstructs that knowledge from the same public facts the
+dataset generators draw on (which is precisely why an LLM would know
+them) and exposes two checks:
+
+* relation contradictions between two cells of one tuple, keyed by
+  attribute-name semantics (city/state, country/region, code/condition);
+* misspelled-word detection: an alphabetic token that is not a known
+  word but sits one edit from a known word.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.data import pools
+from repro.text.distance import within_edit_distance
+from repro.text.tokenize import tokenize
+
+# ----------------------------------------------------------------------
+# Known binary relations, keyed by (lhs-name-hint, rhs-name-hint).
+# ----------------------------------------------------------------------
+_CITY_STATE = {c.lower(): s for c, (s, _) in pools.CITY_STATE.items()}
+_STATE_CODES = {s for s, _ in pools.CITY_STATE.values()}
+_COUNTRY_REGION = {
+    "united states": "north america", "canada": "north america",
+    "mexico": "north america", "brazil": "south america",
+    "china": "east asia", "japan": "east asia", "south korea": "east asia",
+    "india": "south asia", "indonesia": "south east asia",
+    "germany": "europe", "united kingdom": "europe", "france": "europe",
+    "italy": "europe", "spain": "europe", "sweden": "europe",
+    "switzerland": "europe", "russia": "europe", "turkey": "middle east",
+    "saudi arabia": "middle east", "australia": "oceania",
+}
+_MEASURE_CONDITION_PREFIXES = {
+    "scip": "surgical infection prevention",
+    "ami": "heart attack",
+    "pn": "pneumonia",
+    "hf": "heart failure",
+    "cac": "children asthma care",
+}
+
+
+def _vocabulary() -> frozenset[str]:
+    words: set[str] = set()
+    for pool in (
+        pools.FIRST_NAMES, pools.LAST_NAMES, pools.COUNTRIES,
+        pools.INDUSTRIES, pools.BEER_STYLES, pools.BEER_WORDS,
+        pools.BEER_NOUNS, pools.BREWERY_SUFFIXES, pools.HOSPITAL_TYPES,
+        pools.HOSPITAL_OWNERS, pools.JOURNALS, pools.LANGUAGES,
+        pools.MOVIE_GENRES, pools.MOVIE_WORDS, pools.MOVIE_NOUNS,
+        pools.COMPANY_WORDS, pools.COMPANY_SUFFIXES,
+        pools.EDUCATION_LEVELS, tuple(pools.CITY_STATE),
+        tuple(pools.MEASURE_NAMES.values()),
+        tuple(pools.HOSPITAL_CONDITIONS),
+    ):
+        for entry in pool:
+            words.update(tokenize(str(entry)))
+    # Everyday tokens that appear in generated values.
+    words.update(
+        """patients street avenue drive boulevard medical center hospital
+        regional memorial min the a true false male female yes no self
+        made study review analysis report trial""".split()
+    )
+    return frozenset(w for w in words if len(w) >= 3)
+
+
+WORLD_VOCAB: frozenset[str] = _vocabulary()
+
+_VOCAB_BY_LENGTH: dict[int, list[str]] = {}
+for _word in WORLD_VOCAB:
+    _VOCAB_BY_LENGTH.setdefault(len(_word), []).append(_word)
+
+# Only long tokens are judged: short words have so many edit-distance-1
+# neighbours that 'fine'→'fire' style false alarms dominate.
+_ALPHA_TOKEN = re.compile(r"^[a-z]{6,}$")
+_token_verdicts: dict[str, bool] = {}
+
+
+def _token_misspelled(token: str) -> bool:
+    cached = _token_verdicts.get(token)
+    if cached is not None:
+        return cached
+    verdict = False
+    for length in (len(token) - 1, len(token), len(token) + 1):
+        for word in _VOCAB_BY_LENGTH.get(length, ()):
+            if within_edit_distance(token, word, 1):
+                verdict = True
+                break
+        if verdict:
+            break
+    if len(_token_verdicts) < 100_000:
+        _token_verdicts[token] = verdict
+    return verdict
+
+
+def looks_misspelled(value: str) -> bool:
+    """Does the value contain a token one edit away from a known word?
+
+    Mirrors an LLM recognising 'Bechxlor' as a mangled 'Bachelor'.
+    Only alphabetic tokens of length >= 4 are judged, and only when the
+    token itself is unknown.
+    """
+    return any(
+        _token_misspelled(token)
+        for token in tokenize(value)
+        if _ALPHA_TOKEN.match(token) and token not in WORLD_VOCAB
+    )
+
+
+def _name_hint(attr: str, *hints: str) -> bool:
+    lowered = attr.lower()
+    return any(h in lowered for h in hints)
+
+
+def relation_contradictions(row: dict[str, str]) -> list[str]:
+    """Attributes of ``row`` contradicting known public relations."""
+    out: list[str] = []
+    lowered = {a: (v or "").strip().lower() for a, v in row.items()}
+    city_attrs = [a for a in row if _name_hint(a, "city")]
+    state_attrs = [a for a in row if _name_hint(a, "state") and "avg" not in a.lower()]
+    for ca in city_attrs:
+        city = lowered[ca]
+        if city not in _CITY_STATE:
+            continue
+        for sa in state_attrs:
+            state = (row[sa] or "").strip().upper()
+            if state in _STATE_CODES and state != _CITY_STATE[city]:
+                out.append(sa)
+    country_attrs = [a for a in row if _name_hint(a, "citizenship", "country")]
+    region_attrs = [a for a in row if _name_hint(a, "region")]
+    for ca in country_attrs:
+        country = lowered[ca]
+        if country not in _COUNTRY_REGION:
+            continue
+        for ra in region_attrs:
+            region = lowered[ra]
+            if region and region != _COUNTRY_REGION[country]:
+                out.append(ra)
+    code_attrs = [a for a in row if _name_hint(a, "measurecode", "measure_code")]
+    condition_attrs = [a for a in row if _name_hint(a, "condition")]
+    for ma in code_attrs:
+        prefix = lowered[ma].split("-")[0]
+        expected = _MEASURE_CONDITION_PREFIXES.get(prefix)
+        if expected is None:
+            continue
+        for cond in condition_attrs:
+            if lowered[cond] and lowered[cond] != expected:
+                out.append(cond)
+    return out

@@ -1,0 +1,28 @@
+"""Machine-learning substrate: clustering, MLP, metrics, NMI, scaling."""
+
+from repro.ml.agglomerative import AgglomerativeClustering
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import PRF, precision_recall_f1, score_masks
+from repro.ml.mlp import MLPClassifier
+from repro.ml.nmi import (
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.ml.rng import as_generator, spawn
+from repro.ml.scaler import StandardScaler
+
+__all__ = [
+    "PRF",
+    "AgglomerativeClustering",
+    "KMeans",
+    "MLPClassifier",
+    "StandardScaler",
+    "as_generator",
+    "entropy",
+    "mutual_information",
+    "normalized_mutual_information",
+    "precision_recall_f1",
+    "score_masks",
+    "spawn",
+]

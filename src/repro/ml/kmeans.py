@@ -1,0 +1,122 @@
+"""Lloyd's k-means with k-means++ initialisation.
+
+ZeroED clusters every attribute's unified feature vectors and samples
+cluster centroids for LLM labeling (§III-C).  The paper picks k-means
+for its bias toward dense regions and its budget-controlled cluster
+count; this implementation exposes exactly what the sampler needs:
+``labels_``, ``cluster_centers_`` and deterministic seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.rng import RngLike, as_generator
+
+
+class KMeans:
+    """Vectorised Lloyd iteration with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters; clipped to the number of distinct points at
+        fit time (clusters never come out empty).
+    max_iter, tol:
+        Lloyd iteration budget and centre-shift convergence tolerance.
+    seed:
+        Seed or generator for initialisation.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: RngLike = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = as_generator(seed)
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError("expected a non-empty 2-D matrix")
+        k = min(self.n_clusters, _count_distinct_rows(x))
+        centers = self._init_plus_plus(x, k)
+        labels = np.zeros(x.shape[0], dtype=int)
+        for iteration in range(self.max_iter):
+            labels = _nearest_center(x, centers)
+            new_centers = centers.copy()
+            for c in range(k):
+                members = x[labels == c]
+                if len(members):
+                    new_centers[c] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its assigned centre, the standard repair.
+                    dists = np.linalg.norm(x - centers[labels], axis=1)
+                    new_centers[c] = x[int(np.argmax(dists))]
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            self.n_iter_ = iteration + 1
+            if shift <= self.tol:
+                break
+        self.cluster_centers_ = centers
+        self.labels_ = _nearest_center(x, centers)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        return _nearest_center(np.asarray(x, dtype=float), self.cluster_centers_)
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        self.fit(x)
+        assert self.labels_ is not None
+        return self.labels_
+
+    # ------------------------------------------------------------------
+    def _init_plus_plus(self, x: np.ndarray, k: int) -> np.ndarray:
+        n = x.shape[0]
+        centers = np.empty((k, x.shape[1]))
+        first = int(self._rng.integers(n))
+        centers[0] = x[first]
+        closest_sq = _sq_dist_to(x, centers[0])
+        for c in range(1, k):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                # All remaining points coincide with chosen centres.
+                centers[c:] = centers[0]
+                break
+            probs = closest_sq / total
+            idx = int(self._rng.choice(n, p=probs))
+            centers[c] = x[idx]
+            closest_sq = np.minimum(closest_sq, _sq_dist_to(x, centers[c]))
+        return centers
+
+
+def _sq_dist_to(x: np.ndarray, center: np.ndarray) -> np.ndarray:
+    diff = x - center
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _nearest_center(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; the x term is constant
+    # per-row so it can be dropped for argmin.
+    cross = x @ centers.T
+    c_sq = np.einsum("ij,ij->i", centers, centers)
+    return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
+
+
+def _count_distinct_rows(x: np.ndarray) -> int:
+    return np.unique(x, axis=0).shape[0]

@@ -1,0 +1,65 @@
+"""Detection metrics: precision, recall, F1 (cell-level, as in the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.mask import ErrorMask
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 with the underlying confusion counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    tp: int
+    fp: int
+    fn: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+        )
+
+
+def precision_recall_f1(
+    predicted: np.ndarray, truth: np.ndarray
+) -> PRF:
+    """Compute PRF over aligned boolean vectors.
+
+    Precision is the share of flagged cells that are truly erroneous;
+    recall the share of true errors flagged; F1 their harmonic mean.
+    All-zero denominators yield 0.0, matching how the cleaning
+    literature reports degenerate detectors (e.g. Katara's zeros).
+    """
+    predicted = np.asarray(predicted, dtype=bool).ravel()
+    truth = np.asarray(truth, dtype=bool).ravel()
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {predicted.shape} vs {truth.shape}"
+        )
+    tp = int(np.sum(predicted & truth))
+    fp = int(np.sum(predicted & ~truth))
+    fn = int(np.sum(~predicted & truth))
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return PRF(precision, recall, f1, tp, fp, fn)
+
+
+def score_masks(predicted: ErrorMask, truth: ErrorMask) -> PRF:
+    """PRF between a predicted and a ground-truth error mask."""
+    if predicted.attributes != truth.attributes:
+        raise ValueError("masks must share the attribute schema")
+    return precision_recall_f1(predicted.flat(), truth.flat())

@@ -1,0 +1,56 @@
+"""Normalised mutual information between categorical attributes.
+
+ZeroED selects each attribute's top-k correlated attributes by NMI
+(§III-B, "Unified Feature Representation"); probabilities are estimated
+by value frequencies, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def entropy(values: Sequence[str]) -> float:
+    """Shannon entropy (nats) of the empirical value distribution."""
+    n = len(values)
+    if n == 0:
+        return 0.0
+    counts = np.array(list(Counter(values).values()), dtype=float)
+    p = counts / n
+    return float(-np.sum(p * np.log(p)))
+
+
+def mutual_information(xs: Sequence[str], ys: Sequence[str]) -> float:
+    """Empirical mutual information (nats) between two aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError("columns must be aligned")
+    n = len(xs)
+    if n == 0:
+        return 0.0
+    joint = Counter(zip(xs, ys))
+    px = Counter(xs)
+    py = Counter(ys)
+    mi = 0.0
+    for (x, y), c_xy in joint.items():
+        p_xy = c_xy / n
+        mi += p_xy * np.log(p_xy * n * n / (px[x] * py[y]))
+    return float(max(mi, 0.0))
+
+
+def normalized_mutual_information(
+    xs: Sequence[str], ys: Sequence[str]
+) -> float:
+    """NMI(x, y) = I(x; y) / sqrt(H(x) H(y)), in [0, 1].
+
+    Returns 0.0 when either column is constant (zero entropy), since a
+    constant attribute carries no correlation signal.
+    """
+    hx = entropy(xs)
+    hy = entropy(ys)
+    if hx <= 0.0 or hy <= 0.0:
+        return 0.0
+    nmi = mutual_information(xs, ys) / np.sqrt(hx * hy)
+    return float(min(max(nmi, 0.0), 1.0))

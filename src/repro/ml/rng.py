@@ -1,0 +1,43 @@
+"""Seeded randomness helpers.
+
+Every stochastic component in the library takes an explicit seed (or an
+``np.random.Generator``) so that experiment runs are reproducible; this
+module centralises the coercion logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def as_generator(seed: RngLike) -> np.random.Generator:
+    """Coerce an int seed / generator / None into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: RngLike, key: str) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a string key.
+
+    Deriving per-component generators (rather than sharing one) keeps
+    each pipeline stage's randomness stable when other stages change.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive a child deterministically from the parent's bit stream.
+        child_seed = int(seed.integers(0, 2**63 - 1))
+    else:
+        child_seed = 0 if seed is None else int(seed)
+    mixed = np.random.SeedSequence(
+        [child_seed, _key_to_int(key)]
+    )
+    return np.random.default_rng(mixed)
+
+
+def _key_to_int(key: str) -> int:
+    total = 0
+    for ch in key:
+        total = (total * 131 + ord(ch)) % (2**31 - 1)
+    return total

@@ -1,0 +1,38 @@
+"""Feature standardisation (mean-zero, unit-variance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class StandardScaler:
+    """Per-feature standardisation; constant features are left at zero.
+
+    Mirrors the sklearn API (``fit`` / ``transform`` / ``fit_transform``)
+    so pipeline code reads conventionally.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

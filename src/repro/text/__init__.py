@@ -1,0 +1,17 @@
+"""Text utilities: tokenisation, patterns, distances, embeddings."""
+
+from repro.text.distance import levenshtein, within_edit_distance
+from repro.text.embeddings import SubwordHashEmbedding
+from repro.text.patterns import all_levels, generalize
+from repro.text.tokenize import STOP_WORDS, char_ngrams, tokenize
+
+__all__ = [
+    "STOP_WORDS",
+    "SubwordHashEmbedding",
+    "all_levels",
+    "char_ngrams",
+    "generalize",
+    "levenshtein",
+    "tokenize",
+    "within_edit_distance",
+]

@@ -1,0 +1,45 @@
+"""String distance utilities.
+
+Levenshtein distance is used by the error-type classifier (typo := edit
+distance <= 3 from the clean value, per the paper's Table II
+footnote) and by the simulated LLM's typo reasoning.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str, limit: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b``.
+
+    If ``limit`` is given and the distance provably exceeds it, returns
+    ``limit + 1`` early (band optimisation), which is all callers need
+    for threshold tests.
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if limit is not None and len(b) - len(a) > limit:
+        return limit + 1
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            val = min(
+                previous[i] + 1,        # deletion
+                current[i - 1] + 1,     # insertion
+                previous[i - 1] + cost  # substitution
+            )
+            current.append(val)
+            row_min = min(row_min, val)
+        if limit is not None and row_min > limit:
+            return limit + 1
+        previous = current
+    return previous[-1]
+
+
+def within_edit_distance(a: str, b: str, k: int) -> bool:
+    """True iff ``levenshtein(a, b) <= k``."""
+    return levenshtein(a, b, limit=k) <= k

@@ -1,0 +1,90 @@
+"""FastText-style subword hash embeddings (offline substitute).
+
+The paper uses pre-trained FastText vectors for the semantic feature
+block.  Offline we reproduce FastText's *mechanism* — a bag of character
+n-grams hashed into a shared vector table — with a seeded random table
+instead of pre-trained weights.  The property the pipeline relies on is
+preserved: strings sharing subwords map to nearby vectors, so typos sit
+close to their clean forms and unrelated values sit far apart.  A cell
+embedding is the mean over token vectors, each token vector the mean of
+its subword vectors (exactly fastText's composition rule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.text.tokenize import char_ngrams, tokenize
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic 64-bit hash, independent of PYTHONHASHSEED."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class SubwordHashEmbedding:
+    """Deterministic subword-hash embedding model.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (paper uses 300-d FastText; we default
+        to a compact 32-d which is plenty for the feature block).
+    n_buckets:
+        Size of the shared subword vector table.
+    seed:
+        Seed for the random vector table; the same seed always yields
+        the same embeddings.
+    """
+
+    def __init__(self, dim: int = 32, n_buckets: int = 4096, seed: int = 13) -> None:
+        if dim <= 0 or n_buckets <= 0:
+            raise ValueError("dim and n_buckets must be positive")
+        self.dim = dim
+        self.n_buckets = n_buckets
+        rng = np.random.default_rng(seed)
+        # Scaled so that averaged vectors keep unit-order magnitude.
+        self._table = rng.standard_normal((n_buckets, dim)) / np.sqrt(dim)
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    def token_vector(self, token: str) -> np.ndarray:
+        """Embedding of a single token (mean of its subword vectors)."""
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        grams = char_ngrams(token)
+        rows = [self._table[_stable_hash(g) % self.n_buckets] for g in grams]
+        vec = np.mean(rows, axis=0)
+        if len(self._token_cache) < 200_000:
+            self._token_cache[token] = vec
+        return vec
+
+    def embed(self, value: str) -> np.ndarray:
+        """Embedding of a cell value (mean over token vectors).
+
+        Empty values (missing cells) map to the zero vector, which keeps
+        them maximally distinguishable from every populated value.
+        """
+        tokens = tokenize(value)
+        if not tokens:
+            return np.zeros(self.dim)
+        return np.mean([self.token_vector(t) for t in tokens], axis=0)
+
+    def embed_many(self, values: list[str]) -> np.ndarray:
+        """Embed a list of values into an ``(n, dim)`` matrix.
+
+        Repeated values are embedded once (tabular columns are highly
+        repetitive, so this is the hot path's main optimisation).
+        """
+        unique: dict[str, np.ndarray] = {}
+        out = np.empty((len(values), self.dim))
+        for i, v in enumerate(values):
+            vec = unique.get(v)
+            if vec is None:
+                vec = self.embed(v)
+                unique[v] = vec
+            out[i] = vec
+        return out

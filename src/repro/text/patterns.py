@@ -1,0 +1,85 @@
+"""Value pattern generalisation (paper §III-B, pattern frequency).
+
+A value is generalised at three levels:
+
+* **L1** — every valid (non-space) character collapses to ``A``
+  (alphanumeric run) while symbols stay distinct.
+* **L2** — characters are classified into letters ``L``, digits ``D``
+  and symbols ``S``.
+* **L3** — letters are further split into upper ``U`` and lower ``u``;
+  digits ``D``; symbols ``S``.
+
+Runs are length-encoded, e.g. ``"DOe123."`` → L1 ``A[6].``, L2
+``L[3]D[3]S[1]``, L3 ``U[2]u[1]D[3]S[1]`` (matching the paper's
+example).  The per-attribute frequency of a value's generalised pattern
+is a strong signal for pattern-violation errors.
+"""
+
+from __future__ import annotations
+
+
+def _classify_l1(ch: str) -> str:
+    return "A" if ch.isalnum() else ch
+
+
+def _classify_l2(ch: str) -> str:
+    if ch.isalpha():
+        return "L"
+    if ch.isdigit():
+        return "D"
+    return "S"
+
+
+def _classify_l3(ch: str) -> str:
+    if ch.isalpha():
+        return "U" if ch.isupper() else "u"
+    if ch.isdigit():
+        return "D"
+    return "S"
+
+
+def _run_length_encode(classes: list[str], literal_symbols: bool) -> str:
+    """Collapse consecutive identical classes into ``C[n]`` runs.
+
+    When ``literal_symbols`` is true (L1), symbol characters are kept
+    verbatim rather than run-length encoded, matching ``A[6].`` in the
+    paper's example.
+    """
+    if not classes:
+        return ""
+    out: list[str] = []
+    run_char = classes[0]
+    run_len = 1
+    for ch in classes[1:]:
+        if ch == run_char:
+            run_len += 1
+            continue
+        out.append(_emit(run_char, run_len, literal_symbols))
+        run_char, run_len = ch, 1
+    out.append(_emit(run_char, run_len, literal_symbols))
+    return "".join(out)
+
+
+def _emit(cls: str, length: int, literal_symbols: bool) -> str:
+    if literal_symbols and len(cls) == 1 and not cls.isalnum():
+        return cls * length
+    return f"{cls}[{length}]"
+
+
+def generalize(value: str, level: int) -> str:
+    """Generalise ``value`` at pattern level 1, 2 or 3."""
+    if level == 1:
+        classes = [_classify_l1(ch) for ch in value]
+        return _run_length_encode(classes, literal_symbols=True)
+    if level == 2:
+        classes = [_classify_l2(ch) for ch in value]
+    elif level == 3:
+        classes = [_classify_l3(ch) for ch in value]
+    else:
+        raise ValueError(f"pattern level must be 1, 2 or 3, got {level}")
+    return _run_length_encode(classes, literal_symbols=False)
+
+
+def all_levels(value: str) -> tuple[str, str, str]:
+    """Return (L1, L2, L3) generalisations of ``value``."""
+    return generalize(value, 1), generalize(value, 2), generalize(value, 3)

@@ -1,0 +1,57 @@
+"""Tokenisation helpers for cell values.
+
+The semantic feature of §III-B averages word embeddings over the tokens
+of a cell value after stop-word removal.  Cell values in cleaning
+benchmarks are short, mixed-format strings (names, codes, timestamps),
+so the tokenizer splits on non-alphanumeric boundaries and camelCase.
+"""
+
+from __future__ import annotations
+
+import re
+
+# A compact English stop-word list; enough for short tabular values.
+STOP_WORDS: frozenset[str] = frozenset(
+    """a an and are as at be by for from has he in is it its of on or
+    that the to was were will with this those these""".split()
+)
+
+_SPLIT_RE = re.compile(r"[^0-9a-zA-Z]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z])(?=[A-Z])")
+
+
+def tokenize(value: str, remove_stop_words: bool = True) -> list[str]:
+    """Split a cell value into lowercase tokens.
+
+    Splits on punctuation/whitespace and camelCase boundaries, lowercases,
+    and optionally drops stop words.  Returns ``[]`` for empty values.
+    """
+    if not value:
+        return []
+    parts: list[str] = []
+    for chunk in _SPLIT_RE.split(value):
+        if not chunk:
+            continue
+        parts.extend(p for p in _CAMEL_RE.split(chunk) if p)
+    tokens = [p.lower() for p in parts]
+    if remove_stop_words:
+        tokens = [t for t in tokens if t not in STOP_WORDS]
+    return tokens
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5) -> list[str]:
+    """FastText-style character n-grams with boundary markers.
+
+    The token is wrapped in ``<`` and ``>`` so prefixes/suffixes are
+    distinguishable, then all n-grams with ``n_min <= n <= n_max`` are
+    emitted, plus the whole wrapped token itself.
+    """
+    wrapped = f"<{token}>"
+    grams = []
+    for n in range(n_min, n_max + 1):
+        if n >= len(wrapped):
+            break
+        for i in range(len(wrapped) - n + 1):
+            grams.append(wrapped[i : i + n])
+    grams.append(wrapped)
+    return grams

@@ -1,0 +1,55 @@
+"""Shared fixtures: small tables and datasets sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.data.registry import get_dataset
+from repro.data.table import Table
+from repro.llm.simulated.engine import SimulatedLLM
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A 6-row, 3-attribute table with one obvious error per kind."""
+    return Table.from_rows(
+        ["name", "city", "salary"],
+        [
+            ["Alice Smith", "Boston", "70000"],
+            ["Bob Jones", "Boston", "82000"],
+            ["Carol Brown", "Chicago", "64000"],
+            ["Dan White", "Chicago", "5900000"],   # outlier
+            ["Eve Blxck", "Boston", "71000"],      # typo
+            ["Frank Green", "", "66000"],          # missing
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_hospital():
+    """A 150-row Hospital dataset (fast but structurally complete)."""
+    return get_dataset("hospital").make(n_rows=150, seed=7)
+
+
+@pytest.fixture
+def small_beers():
+    return get_dataset("beers").make(n_rows=200, seed=3)
+
+
+@pytest.fixture
+def fast_config() -> ZeroEDConfig:
+    """Pipeline config tuned for test speed, not quality."""
+    return ZeroEDConfig(
+        label_rate=0.1,
+        mlp_epochs=8,
+        criteria_sample_size=20,
+        embedding_dim=8,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def llm() -> SimulatedLLM:
+    return SimulatedLLM(seed=0)

@@ -1,0 +1,190 @@
+"""Tests for the six baseline detectors and the bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ActiveClean,
+    DBoost,
+    DBoostConfig,
+    FMED,
+    Katara,
+    Nadeef,
+    Raha,
+)
+from repro.bench import METHODS, build_detector, run_comparison, run_method
+from repro.data.kb import KnowledgeBase
+from repro.data.mask import ErrorMask
+from repro.data.registry import get_dataset
+from repro.data.rules import NotNullRule, PatternRule
+from repro.data.table import Table
+from repro.llm.simulated.engine import SimulatedLLM
+
+
+def numeric_table():
+    values = [str(v) for v in range(100, 160)] + ["9999999"]
+    return Table.from_rows(["x"], [[v] for v in values], name="n")
+
+
+class TestDBoost:
+    def test_flags_extreme_numeric_outlier(self):
+        mask = DBoost().detect(numeric_table()).mask
+        assert mask.get(60, "x")
+        assert mask.error_count() <= 3
+
+    def test_histogram_flags_rare_category(self):
+        rows = [["common"]] * 999 + [["weird"]]
+        mask = DBoost().detect(Table.from_rows(["x"], rows)).mask
+        assert mask.get(999, "x")
+
+    def test_missing_not_flagged_by_default(self):
+        rows = [["a"]] * 50 + [[""]]
+        mask = DBoost().detect(Table.from_rows(["x"], rows)).mask
+        assert not mask.get(50, "x")
+
+    def test_flag_missing_config(self):
+        rows = [["a"]] * 50 + [[""]]
+        detector = DBoost(DBoostConfig(flag_missing=True))
+        assert detector.detect(Table.from_rows(["x"], rows)).mask.get(50, "x")
+
+    def test_masking_effect_with_heavy_contamination(self):
+        # Non-robust gaussian: with 30% huge outliers the std explodes
+        # and moderate outliers are masked.
+        values = [str(v) for v in range(100, 170)] + ["100000"] * 30 + ["500"]
+        t = Table.from_rows(["x"], [[v] for v in values])
+        mask = DBoost().detect(t).mask
+        assert not mask.get(100, "x")  # '500' masked
+
+
+class TestNadeef:
+    def test_union_of_rules(self):
+        t = Table.from_rows(["x"], [["abc"], [""], ["123"]])
+        rules = [NotNullRule("x"), PatternRule("x", r"[a-z]+")]
+        mask = Nadeef(rules).detect(t).mask
+        assert mask.get(1, "x") and mask.get(2, "x") and not mask.get(0, "x")
+
+    def test_no_rules_no_detections(self):
+        t = Table.from_rows(["x"], [["a"]])
+        assert Nadeef([]).detect(t).mask.error_count() == 0
+
+
+class TestKatara:
+    def test_empty_kb_detects_nothing(self):
+        t = Table.from_rows(["City", "State"], [["Boston", "TX"]])
+        assert Katara(KnowledgeBase()).detect(t).mask.error_count() == 0
+
+    def test_relation_contradiction_flagged(self):
+        kb = KnowledgeBase()
+        kb.add_relation("City", "State", [("Boston", "MA")])
+        t = Table.from_rows(
+            ["City", "State"], [["Boston", "TX"], ["Boston", "MA"]]
+        )
+        mask = Katara(kb).detect(t).mask
+        assert mask.get(0, "State") and not mask.get(1, "State")
+
+    def test_unknown_entity_tolerated(self):
+        kb = KnowledgeBase()
+        kb.add_relation("City", "State", [("Boston", "MA")])
+        t = Table.from_rows(["City", "State"], [["Gotham", "XX"]])
+        assert Katara(kb).detect(t).mask.error_count() == 0
+
+    def test_domain_violation(self):
+        kb = KnowledgeBase()
+        kb.add_domain("State", ["MA", "IL"])
+        t = Table.from_rows(["State"], [["MA"], ["ZZ"], [""]])
+        mask = Katara(kb).detect(t).mask
+        assert mask.get(1, "State")
+        assert not mask.get(2, "State")  # empties are not KB violations
+
+
+class TestActiveClean:
+    def test_flags_whole_tuples(self):
+        data = get_dataset("flights").make(n_rows=150, seed=0)
+        result = ActiveClean(data.mask, n_labeled_tuples=10, seed=0).detect(
+            data.dirty
+        )
+        matrix = result.mask.matrix
+        # Record-level semantics: a flagged row is flagged in full.
+        row_sums = matrix.sum(axis=1)
+        assert set(np.unique(row_sums)) <= {0, matrix.shape[1]}
+
+    def test_degenerate_budget_single_class(self):
+        data = get_dataset("hospital").make(n_rows=100, seed=1)
+        truth = ErrorMask.zeros(data.dirty.attributes, 100)  # all clean
+        result = ActiveClean(truth, n_labeled_tuples=2, seed=0).detect(data.dirty)
+        assert result.mask.error_count() == 0
+
+
+class TestRaha:
+    def test_more_labels_help(self):
+        data = get_dataset("beers").make(n_rows=300, seed=0)
+        f1 = {}
+        for budget in (2, 30):
+            result = Raha(data.mask, n_labeled_tuples=budget, seed=0).detect(
+                data.dirty
+            )
+            f1[budget] = result.score(data.mask).f1
+        assert f1[30] >= f1[2]
+
+    def test_zero_budget_detects_nothing(self):
+        data = get_dataset("beers").make(n_rows=100, seed=0)
+        result = Raha(data.mask, n_labeled_tuples=0, seed=0).detect(data.dirty)
+        assert result.mask.error_count() == 0
+
+    def test_strategy_matrix_shape(self):
+        from repro.baselines.raha import strategy_matrix
+
+        data = get_dataset("beers").make(n_rows=80, seed=0)
+        m = strategy_matrix(data.dirty, "abv")
+        assert m.shape[0] == 80 and m.shape[1] >= 8
+
+
+class TestFMED:
+    def test_detects_placeholders(self):
+        t = Table.from_rows(
+            ["a", "b"], [["ok", "N/A"], ["ok", "fine"]], name="t"
+        )
+        result = FMED(SimulatedLLM(seed=0)).detect(t)
+        assert result.mask.get(0, "b")
+        assert not result.mask.get(1, "b")
+
+    def test_token_cost_linear_in_rows(self):
+        t1 = Table.from_rows(["a"], [["v"]] * 20, name="t")
+        t2 = Table.from_rows(["a"], [["v"]] * 60, name="t")
+        r1 = FMED(SimulatedLLM(seed=0)).detect(t1)
+        r2 = FMED(SimulatedLLM(seed=0)).detect(t2)
+        assert r2.n_llm_requests == 3 * r1.n_llm_requests
+        assert r2.input_tokens > 2 * r1.input_tokens
+
+
+class TestHarness:
+    def test_build_detector_all_methods(self):
+        spec = get_dataset("hospital")
+        data = spec.make(n_rows=60, seed=0)
+        for method in METHODS:
+            detector = build_detector(method, data, spec, seed=0)
+            assert detector is not None
+
+    def test_build_detector_unknown(self):
+        spec = get_dataset("hospital")
+        data = spec.make(n_rows=60, seed=0)
+        with pytest.raises(ValueError):
+            build_detector("magic", data, spec)
+
+    def test_run_method_scores(self):
+        run = run_method("dboost", "beers", n_rows=150, seed=0)
+        assert run.method == "dboost"
+        assert 0.0 <= run.prf.f1 <= 1.0
+        assert run.seconds >= 0.0
+
+    def test_run_comparison_grid(self):
+        runs = run_comparison(
+            ["beers"], methods=["dboost", "nadeef"], n_rows=100, seed=0
+        )
+        assert len(runs) == 2
+        assert {r.method for r in runs} == {"dboost", "nadeef"}
+
+    def test_as_row_keys(self):
+        run = run_method("nadeef", "beers", n_rows=100, seed=0)
+        row = run.as_row()
+        assert {"method", "dataset", "precision", "recall", "f1"} <= set(row)

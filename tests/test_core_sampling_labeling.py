@@ -1,0 +1,144 @@
+"""Tests for sampling, guidelines, labeling, and training-data steps."""
+
+import numpy as np
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.guidelines import build_guideline, run_analysis_functions
+from repro.core.labeling import label_representatives
+from repro.core.sampling import sample_representatives
+from repro.core.training_data import propagate_labels
+from repro.data.stats import AttributeStats
+from repro.data.table import Table
+from repro.errors import ConfigError
+from repro.llm.simulated.engine import SimulatedLLM
+
+
+def blob_features(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(0, 0.5, (40, 3)), rng.normal(10, 0.5, (40, 3))]
+    )
+
+
+class TestSampling:
+    def test_kmeans_representatives_cover_clusters(self):
+        result = sample_representatives(blob_features(), 2, "kmeans", seed=0)
+        reps = result.sampled_indices
+        assert len(reps) == 2
+        # One representative from each blob.
+        assert any(r < 40 for r in reps) and any(r >= 40 for r in reps)
+
+    def test_representative_is_member_of_its_cluster(self):
+        result = sample_representatives(blob_features(), 4, "kmeans", seed=0)
+        for cluster_id, rep in result.representative_of.items():
+            assert result.cluster_labels[rep] == cluster_id
+
+    def test_all_methods_produce_valid_output(self):
+        feats = blob_features()
+        for method in ("kmeans", "agglomerative", "random"):
+            result = sample_representatives(feats, 5, method, seed=1)
+            assert len(result.cluster_labels) == 80
+            assert result.sampled_indices
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            sample_representatives(blob_features(), 2, "dbscan")
+
+    def test_empty_features(self):
+        with pytest.raises(ConfigError):
+            sample_representatives(np.zeros((0, 2)), 2)
+
+    def test_n_clusters_clipped(self):
+        result = sample_representatives(np.zeros((3, 2)), 10, "kmeans")
+        assert len(result.sampled_indices) <= 3
+
+
+class TestGuidelines:
+    def table(self):
+        return Table.from_rows(
+            ["x"], [[str(v)] for v in range(50)], name="nums"
+        )
+
+    def test_run_analysis_functions_executes(self):
+        spec = {
+            "name": "distr_analysis_count",
+            "source": (
+                "def distr_analysis_count(table, attr_name):\n"
+                "    return f'rows={len(table.column_view(attr_name))}'\n"
+            ),
+        }
+        text, n_ok, failed = run_analysis_functions(self.table(), "x", [spec])
+        assert "rows=50" in text
+        assert n_ok == 1 and not failed
+
+    def test_broken_function_reported_not_fatal(self):
+        spec = {"name": "distr_analysis_bad", "source": "this is not python"}
+        text, n_ok, failed = run_analysis_functions(self.table(), "x", [spec])
+        assert n_ok == 0 and failed
+
+    def test_build_guideline_end_to_end(self, llm):
+        result = build_guideline(
+            llm, self.table(), "x", [{"x": "1"}, {"x": "2"}]
+        )
+        assert "x" in result.text
+        assert "Error" in result.text or "error" in result.text
+        assert result.n_functions >= 1
+        # Analysis results executed over the whole table appear.
+        assert "Total records: 50" in result.analysis_text
+
+
+class TestLabeling:
+    def test_label_representatives_flags_obvious_errors(self, llm):
+        rows = [["good"]] * 50 + [["NULL"]] * 2
+        table = Table.from_rows(["x"], rows, name="t")
+        stats = AttributeStats.compute(table, "x")
+        labels = label_representatives(
+            llm=llm, table=table, attr="x",
+            sampled_indices=[0, 1, 50, 51],
+            guideline_text="guide", stats=stats, pair_stats={},
+            correlated=[], config=ZeroEDConfig(),
+        )
+        assert labels[50] == 1 and labels[51] == 1
+        assert labels[0] == 0
+
+    def test_batching_covers_all_samples(self, llm):
+        table = Table.from_rows(["x"], [[f"v{i}"] for i in range(60)], name="t")
+        stats = AttributeStats.compute(table, "x")
+        labels = label_representatives(
+            llm=llm, table=table, attr="x",
+            sampled_indices=list(range(45)),
+            guideline_text="guide", stats=stats, pair_stats={},
+            correlated=[], config=ZeroEDConfig(batch_size=10),
+        )
+        assert len(labels) == 45
+
+
+class TestPropagation:
+    def make_sampling(self):
+        from repro.core.sampling import SamplingResult
+
+        return SamplingResult(
+            cluster_labels=np.array([0, 0, 0, 1, 1, 1]),
+            sampled_indices=[0, 3],
+            representative_of={0: 0, 1: 3},
+        )
+
+    def test_clean_label_propagates_cluster_wide(self):
+        out = propagate_labels(self.make_sampling(), {0: 0, 3: 0})
+        assert out == {0: 0, 1: 0, 2: 0, 3: 0, 4: 0, 5: 0}
+
+    def test_error_label_restricted_to_same_evidence(self):
+        evidence = ["a", "a", "b", "c", "c", "d"]
+        out = propagate_labels(
+            self.make_sampling(), {0: 1, 3: 1}, evidence=evidence
+        )
+        assert out == {0: 1, 1: 1, 3: 1, 4: 1}
+
+    def test_error_label_cluster_wide_without_evidence(self):
+        out = propagate_labels(self.make_sampling(), {0: 1, 3: 0})
+        assert out[1] == 1 and out[2] == 1
+
+    def test_llm_labels_take_precedence(self):
+        out = propagate_labels(self.make_sampling(), {0: 0, 3: 0, 1: 1})
+        assert out[1] == 1

@@ -1,0 +1,126 @@
+"""Tests for repro.criteria: compilation, sandboxing, caching."""
+
+import pytest
+
+from repro.criteria import Criterion, compile_criteria, compile_function
+from repro.data.table import Table
+from repro.errors import CriteriaError
+
+GOOD = '''
+def is_clean_upper(row, attr):
+    value = row[attr]
+    return bool(value) and value == value.upper()
+'''
+
+USES_IMPORT = '''
+def is_clean_digits(row, attr):
+    import re
+    return re.fullmatch(r"\\d+", row[attr]) is not None
+'''
+
+BROKEN_SYNTAX = "def is_clean_x(row, attr) return True"
+
+RAISES = '''
+def is_clean_boom(row, attr):
+    raise ValueError("boom")
+'''
+
+FORBIDDEN_IMPORT = '''
+def is_clean_evil(row, attr):
+    import os
+    return True
+'''
+
+
+class TestCompileFunction:
+    def test_good_source(self):
+        fn = compile_function(GOOD, "is_clean_upper")
+        assert fn({"x": "ABC"}, "x") is True
+        assert fn({"x": "abc"}, "x") is False
+
+    def test_allowed_import(self):
+        fn = compile_function(USES_IMPORT, "is_clean_digits")
+        assert fn({"x": "123"}, "x")
+
+    def test_syntax_error(self):
+        with pytest.raises(CriteriaError):
+            compile_function(BROKEN_SYNTAX, "is_clean_x")
+
+    def test_wrong_name(self):
+        with pytest.raises(CriteriaError):
+            compile_function(GOOD, "not_defined")
+
+    def test_forbidden_import_fails_at_runtime(self):
+        fn = compile_function(FORBIDDEN_IMPORT, "is_clean_evil")
+        with pytest.raises(ImportError):
+            fn({"x": "1"}, "x")
+
+    def test_no_builtins_leakage(self):
+        source = '''
+def is_clean_sneaky(row, attr):
+    return open("/etc/passwd")
+'''
+        fn = compile_function(source, "is_clean_sneaky")
+        with pytest.raises(Exception):
+            fn({"x": "1"}, "x")
+
+
+class TestCriterion:
+    def spec(self, source=GOOD, name="is_clean_upper", context=()):
+        return {"name": name, "source": source, "context_attrs": list(context)}
+
+    def test_from_spec_and_check(self):
+        crit = Criterion.from_spec("x", self.spec())
+        assert crit.check({"x": "GOOD"})
+        assert not crit.check({"x": "bad"})
+
+    def test_runtime_error_counts_not_clean(self):
+        crit = Criterion.from_spec("x", self.spec(RAISES, "is_clean_boom"))
+        assert crit.check({"x": "anything"}) is False
+
+    def test_broken_flag_after_budget(self):
+        crit = Criterion.from_spec("x", self.spec(RAISES, "is_clean_boom"))
+        crit.max_failures = 3
+        for i in range(5):
+            crit.check({"x": str(i)})
+        assert crit.is_broken
+
+    def test_cache_by_value(self):
+        crit = Criterion.from_spec("x", self.spec())
+        assert crit.check({"x": "AA"}) is True
+        # Same value hits the cache (and still returns True).
+        assert crit.check({"x": "AA"}) is True
+        assert len(crit._cache) == 1
+
+    def test_context_attr_in_cache_key(self):
+        source = '''
+def is_clean_match(row, attr):
+    return row[attr] == row.get("other", "")
+'''
+        crit = Criterion.from_spec(
+            "x", {"name": "is_clean_match", "source": source,
+                  "context_attrs": ["other"]},
+        )
+        assert crit.check({"x": "a", "other": "a"})
+        assert not crit.check({"x": "a", "other": "b"})
+
+    def test_evaluate_column(self):
+        t = Table.from_rows(["x"], [["AB"], ["cd"], ["EF"]])
+        crit = Criterion.from_spec("x", self.spec())
+        assert crit.evaluate_column(t).tolist() == [True, False, True]
+
+    def test_accuracy_on(self):
+        crit = Criterion.from_spec("x", self.spec())
+        rows = [{"x": "AA"}, {"x": "bb"}]
+        assert crit.accuracy_on(rows) == pytest.approx(0.5)
+        assert crit.accuracy_on([]) == 0.0
+
+
+class TestCompileCriteria:
+    def test_skips_broken_sources(self):
+        specs = [
+            {"name": "is_clean_upper", "source": GOOD},
+            {"name": "is_clean_x", "source": BROKEN_SYNTAX},
+        ]
+        crits = compile_criteria("x", specs)
+        assert [c.name for c in crits] == ["is_clean_upper"]

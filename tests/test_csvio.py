@@ -1,0 +1,53 @@
+"""Tests for repro.data.csvio."""
+
+import pytest
+
+from repro.data.csvio import read_csv, write_csv
+from repro.data.table import Table
+from repro.errors import DataError
+
+
+def test_roundtrip(tmp_path):
+    t = Table.from_rows(
+        ["a", "b"], [["x", "1"], ["has,comma", 'has"quote'], ["", "empty ok"]]
+    )
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    back = read_csv(path)
+    assert back == t
+
+
+def test_name_defaults_to_stem(tmp_path):
+    t = Table.from_rows(["a"], [["1"]])
+    path = tmp_path / "mydata.csv"
+    write_csv(t, path)
+    assert read_csv(path).name == "mydata"
+
+
+def test_short_rows_padded(tmp_path):
+    path = tmp_path / "ragged.csv"
+    path.write_text("a,b\nonly_one\n")
+    t = read_csv(path)
+    assert t.row(0) == {"a": "only_one", "b": ""}
+
+
+def test_long_rows_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2,3\n")
+    with pytest.raises(DataError):
+        read_csv(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(DataError):
+        read_csv(path)
+
+
+def test_header_only(tmp_path):
+    path = tmp_path / "header.csv"
+    path.write_text("a,b\n")
+    t = read_csv(path)
+    assert t.n_rows == 0
+    assert t.attributes == ["a", "b"]

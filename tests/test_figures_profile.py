@@ -1,0 +1,80 @@
+"""Tests for ASCII figure rendering and table profiling."""
+
+from repro.bench.figures import render_bar_chart, render_line_chart
+from repro.data.profile import profile_table
+from repro.data.registry import get_dataset
+from repro.data.table import Table
+
+
+class TestLineChart:
+    def test_renders_series_and_legend(self):
+        chart = render_line_chart(
+            {"a": [(0, 0.1), (1, 0.5), (2, 0.9)],
+             "b": [(0, 0.9), (2, 0.1)]},
+            title="T",
+        )
+        assert chart.startswith("T")
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty(self):
+        assert "(no data)" in render_line_chart({}, title="E")
+
+    def test_constant_series_no_crash(self):
+        chart = render_line_chart({"flat": [(0, 0.5), (1, 0.5)]})
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = render_line_chart(
+            {"s": [(1, 10.0), (5, 20.0)]}, y_label="f1", x_label="k"
+        )
+        assert "20" in chart and "10" in chart
+        assert "[f1 vs k]" in chart
+
+    def test_extremes_plotted_at_corners(self):
+        chart = render_line_chart(
+            {"s": [(0, 0.0), (10, 1.0)]}, width=20, height=5
+        )
+        lines = chart.splitlines()
+        data_lines = [ln for ln in lines if "|" in ln]
+        # max y lands on the first grid row, min y on the last.
+        assert "o" in data_lines[0]
+        assert "o" in data_lines[-1]
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = render_bar_chart({"big": 1.0, "small": 0.25}, width=40)
+        big = next(ln for ln in chart.splitlines() if ln.startswith("big"))
+        small = next(ln for ln in chart.splitlines() if ln.startswith("small"))
+        assert big.count("#") > small.count("#")
+
+    def test_empty(self):
+        assert "(no data)" in render_bar_chart({}, title="E")
+
+
+class TestProfile:
+    def test_profile_finds_hospital_dependencies(self):
+        data = get_dataset("hospital").make(n_rows=300, seed=0)
+        profile = profile_table(data.clean)
+        deps = {(d.lhs, d.rhs) for d in profile.dependencies}
+        assert ("MeasureCode", "Condition") in deps
+
+    def test_profile_attribute_facts(self):
+        t = Table.from_rows(
+            ["num", "cat"],
+            [[str(i), "x" if i % 2 else "y"] for i in range(40)]
+            + [["", "x"]],
+            name="p",
+        )
+        profile = profile_table(t)
+        by_attr = {a.attr: a for a in profile.attributes}
+        assert by_attr["num"].numeric_fraction > 0.9
+        assert by_attr["num"].missing_share > 0.0
+        assert by_attr["cat"].n_distinct == 2
+
+    def test_render_is_text(self):
+        data = get_dataset("beers").make(n_rows=120, seed=0)
+        text = profile_table(data.dirty).render()
+        assert "Profile of 'beers'" in text
+        assert "## abv" in text

@@ -1,0 +1,116 @@
+"""Tests for the dataset generators and registry."""
+
+import pytest
+
+from repro.data.registry import (
+    COMPARISON_DATASETS,
+    dataset_names,
+    get_dataset,
+    make_dataset,
+)
+from repro.errors import ConfigError
+
+EXPECTED_SHAPES = {
+    "hospital": (1000, 20),
+    "flights": (2376, 7),
+    "beers": (2410, 11),
+    "rayyan": (1000, 11),
+    "billionaire": (2615, 22),
+    "movies": (7390, 17),
+    "tax": (200_000, 22),
+}
+
+
+def test_registry_lists_all_seven():
+    assert set(dataset_names()) == set(EXPECTED_SHAPES)
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigError):
+        get_dataset("nope")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SHAPES))
+def test_default_shapes_match_table2(name):
+    spec = get_dataset(name)
+    expected_rows, expected_attrs = EXPECTED_SHAPES[name]
+    assert spec.default_rows == expected_rows
+    # Generate small to keep the test fast; attribute count must hold.
+    data = spec.make(n_rows=60, seed=0)
+    assert data.dirty.n_attributes == expected_attrs
+    assert data.dirty.n_rows == 60
+
+
+@pytest.mark.parametrize("name", sorted(COMPARISON_DATASETS))
+def test_error_rate_tracks_table2(name):
+    table2_rates = {
+        "hospital": 0.0482, "flights": 0.3451, "beers": 0.1298,
+        "rayyan": 0.2919, "billionaire": 0.0984, "movies": 0.0497,
+    }
+    data = make_dataset(name, n_rows=500, seed=0)
+    assert data.mask.error_rate() == pytest.approx(
+        table2_rates[name], abs=0.03
+    )
+
+
+@pytest.mark.parametrize("name", sorted(COMPARISON_DATASETS))
+def test_generation_deterministic(name):
+    a = make_dataset(name, n_rows=100, seed=4)
+    b = make_dataset(name, n_rows=100, seed=4)
+    assert a.dirty == b.dirty
+    assert a.mask == b.mask
+
+
+def test_different_seeds_differ():
+    a = make_dataset("hospital", n_rows=100, seed=0)
+    b = make_dataset("hospital", n_rows=100, seed=1)
+    assert a.dirty != b.dirty
+
+
+def test_clean_tables_satisfy_declared_fds():
+    for name in ("hospital", "flights", "beers", "tax"):
+        spec = get_dataset(name)
+        data = spec.make(n_rows=300, seed=0)
+        clean = data.clean
+        for dep in spec.dependencies:
+            mapping = {}
+            for i in range(clean.n_rows):
+                lhs = clean.cell(i, dep.lhs)
+                rhs = clean.cell(i, dep.rhs)
+                assert mapping.setdefault(lhs, rhs) == rhs, (
+                    f"{name}: clean data violates {dep}"
+                )
+
+
+def test_rule_packs_fire_on_dirty_not_clean():
+    spec = get_dataset("hospital")
+    data = spec.make(n_rows=400, seed=0)
+    dirty_hits = sum(len(r.violations(data.dirty)) for r in spec.rules)
+    clean_hits = sum(len(r.violations(data.clean)) for r in spec.rules)
+    assert dirty_hits > clean_hits
+
+
+def test_kb_presence_matches_paper():
+    # KATARA finds nothing on Flights/Beers/Rayyan/Movies (paper IV-B).
+    for name in ("flights", "beers", "rayyan", "movies", "tax"):
+        assert get_dataset(name).kb.is_empty()
+    for name in ("hospital", "billionaire"):
+        assert not get_dataset(name).kb.is_empty()
+
+
+def test_tax_scales():
+    data = make_dataset("tax", n_rows=2000, seed=0)
+    assert data.dirty.n_rows == 2000
+
+
+def test_custom_profile_override():
+    from repro.data.injector import ErrorProfile
+
+    data = make_dataset(
+        "beers", n_rows=300, seed=0,
+        profile=ErrorProfile(missing=0.05),
+    )
+    from repro.data.errortypes import ErrorType
+
+    counts = data.count_by_type()
+    assert set(counts) == {ErrorType.MISSING}

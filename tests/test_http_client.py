@@ -1,0 +1,159 @@
+"""Tests for the HTTP chat client and its response parsers (offline)."""
+
+import json
+
+import pytest
+
+from repro.errors import LLMError
+from repro.llm import parsing
+from repro.llm.client import LLMRequest
+from repro.llm.http_client import HTTPChatLLM
+
+
+class TestParsing:
+    def test_extract_fenced_code(self):
+        text = "Here you go:\n```python\ndef f():\n    pass\n```\ndone"
+        blocks = parsing.extract_code_blocks(text)
+        assert len(blocks) == 1 and blocks[0].startswith("def f()")
+
+    def test_extract_bare_code(self):
+        text = "def g(row, attr):\n    return True"
+        assert parsing.extract_code_blocks(text) == [text]
+
+    def test_extract_prose_only(self):
+        assert parsing.extract_code_blocks("no code here") == []
+
+    def test_split_functions(self):
+        block = (
+            "def is_clean_a(row, attr):\n    return True\n\n"
+            "def is_clean_b(row, attr):\n    return False\n"
+        )
+        names = [n for n, _ in parsing.split_functions(block)]
+        assert names == ["is_clean_a", "is_clean_b"]
+
+    def test_parse_criteria_context_attrs(self):
+        text = (
+            "```python\n"
+            "def is_clean_consistent(row, attr):\n"
+            "    return row['State'] == row.get('Region', '')\n"
+            "```"
+        )
+        specs = parsing.parse_criteria(text, attr="State")
+        assert specs[0]["context_attrs"] == ["Region"]
+
+    def test_parse_criteria_compiles(self):
+        from repro.criteria import compile_criteria
+
+        text = (
+            "```python\n"
+            "def is_clean_nonempty(row, attr):\n"
+            "    return bool(row[attr])\n"
+            "```"
+        )
+        specs = parsing.parse_criteria(text, attr="x")
+        crits = compile_criteria("x", specs)
+        assert crits[0].check({"x": "v"}) and not crits[0].check({"x": ""})
+
+    def test_parse_labels(self):
+        assert parsing.parse_labels("1, 0, 1 and 1", expected=4) == [1, 0, 1, 1]
+
+    def test_parse_labels_pads_short_answers(self):
+        assert parsing.parse_labels("1", expected=3) == [1, 0, 0]
+
+    def test_parse_labels_truncates_long_answers(self):
+        assert parsing.parse_labels("0 1 0 1 0 1", expected=2) == [0, 1]
+
+    def test_parse_values_strips_bullets(self):
+        text = "- alpha\n2) beta\n* 'gamma'\n\n"
+        assert parsing.parse_values(text) == ["alpha", "beta", "gamma"]
+
+    def test_parse_values_limit(self):
+        assert parsing.parse_values("a\nb\nc", limit=2) == ["a", "b"]
+
+    def test_parse_tuple_verdicts(self):
+        text = "name: yes; salary: no\ncity - Yes"
+        verdicts = parsing.parse_tuple_verdicts(text)
+        assert verdicts["name"] is True
+        assert verdicts["salary"] is False
+        assert verdicts["city"] is True
+
+
+def fake_transport(reply_content: str):
+    calls = []
+
+    def transport(url, headers, body, timeout):
+        calls.append(
+            {"url": url, "headers": headers, "body": json.loads(body)}
+        )
+        return json.dumps(
+            {"choices": [{"message": {"content": reply_content}}]}
+        )
+
+    transport.calls = calls
+    return transport
+
+
+class TestHTTPChatLLM:
+    def test_request_shape(self):
+        transport = fake_transport("0 1")
+        client = HTTPChatLLM(
+            "http://localhost:8000/v1", "qwen", api_key="sk-test",
+            transport=transport,
+        )
+        response = client.complete(
+            LLMRequest(
+                kind="label_batch", prompt="label these",
+                payload={"values": ["a", "b"]},
+            )
+        )
+        call = transport.calls[0]
+        assert call["url"].endswith("/v1/chat/completions")
+        assert call["headers"]["Authorization"] == "Bearer sk-test"
+        assert call["body"]["model"] == "qwen"
+        assert call["body"]["messages"][0]["content"] == "label these"
+        assert response.payload == [0, 1]
+
+    def test_criteria_parsing_path(self):
+        reply = (
+            "```python\ndef is_clean_ok(row, attr):\n    return True\n```"
+        )
+        client = HTTPChatLLM(
+            "http://x", "m", transport=fake_transport(reply)
+        )
+        response = client.complete(
+            LLMRequest(kind="criteria", prompt="p", payload={"attr": "a"})
+        )
+        assert response.payload[0]["name"] == "is_clean_ok"
+
+    def test_guideline_returns_text(self):
+        client = HTTPChatLLM(
+            "http://x", "m", transport=fake_transport("the guideline")
+        )
+        response = client.complete(
+            LLMRequest(kind="guideline", prompt="p", payload={})
+        )
+        assert response.payload == "the guideline"
+
+    def test_token_accounting(self):
+        client = HTTPChatLLM(
+            "http://x", "m", transport=fake_transport("reply " * 10)
+        )
+        client.complete(LLMRequest(kind="augment", prompt="word " * 30,
+                                   payload={"n": 3}))
+        assert client.ledger.summary()["input_tokens"] >= 30
+
+    def test_transport_failure_wrapped(self):
+        def boom(url, headers, body, timeout):
+            raise OSError("connection refused")
+
+        client = HTTPChatLLM("http://x", "m", transport=boom)
+        with pytest.raises(LLMError):
+            client.complete(LLMRequest(kind="guideline", prompt="p"))
+
+    def test_malformed_response_wrapped(self):
+        def bad(url, headers, body, timeout):
+            return "{not json"
+
+        client = HTTPChatLLM("http://x", "m", transport=bad)
+        with pytest.raises(LLMError):
+            client.complete(LLMRequest(kind="guideline", prompt="p"))

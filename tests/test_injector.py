@@ -1,0 +1,164 @@
+"""Tests for repro.data.injector."""
+
+import pytest
+
+from repro.data.errortypes import ErrorType, is_missing_placeholder
+from repro.data.injector import (
+    ErrorInjector,
+    ErrorProfile,
+    FunctionalDependency,
+    classify_error_types,
+)
+from repro.data.table import Table
+from repro.errors import ConfigError
+from repro.text.distance import within_edit_distance
+
+
+def clean_table(n=200, seed=1):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    cities = ["Boston", "Chicago", "Denver", "Austin"]
+    states = {"Boston": "MA", "Chicago": "IL", "Denver": "CO", "Austin": "TX"}
+    rows = []
+    for i in range(n):
+        city = cities[int(rng.integers(4))]
+        rows.append(
+            [f"P{i:04d}", city, states[city], str(int(rng.integers(30, 90)) * 1000)]
+        )
+    return Table.from_rows(["pid", "city", "state", "salary"], rows, name="t")
+
+
+class TestErrorProfile:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            ErrorProfile(missing=1.5)
+
+    def test_total(self):
+        p = ErrorProfile(missing=0.01, typo=0.02)
+        assert p.total() == pytest.approx(0.03)
+
+    def test_single_type(self):
+        p = ErrorProfile.single_type(ErrorType.TYPO, 0.05)
+        assert p.typo == 0.05 and p.total() == pytest.approx(0.05)
+
+    def test_single_type_rejects_mixed(self):
+        with pytest.raises(ConfigError):
+            ErrorProfile.single_type(ErrorType.MIXED, 0.05)
+
+
+class TestInjection:
+    def test_overall_rate_close_to_profile(self):
+        profile = ErrorProfile(missing=0.02, typo=0.02, pattern=0.02)
+        result = ErrorInjector(profile, seed=0).inject(clean_table())
+        assert result.mask.error_rate() == pytest.approx(0.06, abs=0.02)
+
+    def test_clean_table_unmodified(self):
+        t = clean_table()
+        snapshot = t.copy()
+        ErrorInjector(ErrorProfile(typo=0.05), seed=0).inject(t)
+        assert t == snapshot
+
+    def test_mask_matches_diff(self):
+        result = ErrorInjector(ErrorProfile(typo=0.05), seed=0).inject(clean_table())
+        for i, attr in result.mask.error_cells():
+            assert result.dirty.cell(i, attr) != result.clean.cell(i, attr)
+
+    def test_injected_cells_recorded(self):
+        result = ErrorInjector(ErrorProfile(typo=0.05), seed=0).inject(clean_table())
+        assert set(result.injected) == set(result.mask.error_cells())
+
+    def test_missing_injection_uses_placeholders(self):
+        profile = ErrorProfile(missing=0.05)
+        result = ErrorInjector(profile, seed=0).inject(clean_table())
+        for (i, attr), etype in result.injected.items():
+            assert etype is ErrorType.MISSING
+            assert is_missing_placeholder(result.dirty.cell(i, attr))
+
+    def test_typos_within_small_edit_distance(self):
+        profile = ErrorProfile(typo=0.05)
+        result = ErrorInjector(profile, seed=0).inject(clean_table())
+        for (i, attr), etype in result.injected.items():
+            assert within_edit_distance(
+                result.dirty.cell(i, attr), result.clean.cell(i, attr), 3
+            )
+
+    def test_outliers_target_numeric_attributes(self):
+        profile = ErrorProfile(outlier=0.05)
+        result = ErrorInjector(
+            profile, numeric_attributes=["salary"], seed=0
+        ).inject(clean_table())
+        assert result.injected
+        assert all(attr == "salary" for _, attr in result.injected)
+
+    def test_rule_violations_break_dependency(self):
+        profile = ErrorProfile(rule=0.05)
+        dep = FunctionalDependency("city", "state")
+        result = ErrorInjector(profile, dependencies=[dep], seed=0).inject(
+            clean_table()
+        )
+        assert result.injected
+        states = {"Boston": "MA", "Chicago": "IL", "Denver": "CO", "Austin": "TX"}
+        for (i, attr), etype in result.injected.items():
+            assert etype is ErrorType.RULE and attr == "state"
+            city = result.dirty.cell(i, "city")
+            assert result.dirty.cell(i, "state") != states[city]
+
+    def test_rule_without_dependencies_is_noop(self):
+        result = ErrorInjector(ErrorProfile(rule=0.05), seed=0).inject(clean_table())
+        assert not result.injected
+
+    def test_deterministic(self):
+        profile = ErrorProfile(typo=0.03, missing=0.03)
+        a = ErrorInjector(profile, seed=5).inject(clean_table())
+        b = ErrorInjector(profile, seed=5).inject(clean_table())
+        assert a.dirty == b.dirty
+
+    def test_systematic_corruption_repeats(self):
+        profile = ErrorProfile(typo=0.2)
+        injector = ErrorInjector(profile, seed=0, systematic_share=1.0)
+        result = injector.inject(clean_table(n=400))
+        # With full systematic share, repeated corruption of the same
+        # value yields repeated dirty values.
+        from collections import Counter
+
+        dirty_values = Counter(
+            result.dirty.cell(i, a) for (i, a) in result.injected
+        )
+        assert any(count >= 2 for count in dirty_values.values())
+
+    def test_count_by_type(self):
+        profile = ErrorProfile(missing=0.02, typo=0.02)
+        result = ErrorInjector(profile, seed=0).inject(clean_table())
+        counts = result.count_by_type()
+        assert set(counts) <= {ErrorType.MISSING, ErrorType.TYPO}
+        assert sum(counts.values()) == len(result.injected)
+
+
+class TestClassification:
+    def test_classifier_recovers_injected_types(self):
+        profile = ErrorProfile(
+            missing=0.01, typo=0.01, pattern=0.01, outlier=0.01, rule=0.01
+        )
+        dep = FunctionalDependency("city", "state")
+        result = ErrorInjector(
+            profile,
+            numeric_attributes=["salary"],
+            dependencies=[dep],
+            seed=2,
+        ).inject(clean_table(n=400))
+        classified = classify_error_types(
+            result.dirty, result.clean, result.mask, [dep]
+        )
+        assert set(classified) == set(result.injected)
+        agree = sum(
+            classified[c] == result.injected[c] for c in classified
+        ) / len(classified)
+        assert agree > 0.7  # priority rules overlap; most should agree
+
+    def test_classifier_empty_mask(self):
+        t = clean_table(n=20)
+        from repro.data.mask import ErrorMask
+
+        out = classify_error_types(t, t, ErrorMask.zeros(t.attributes, 20))
+        assert out == {}

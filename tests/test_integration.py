@@ -1,0 +1,82 @@
+"""Cross-module integration: generate → detect → persist → repair."""
+
+import numpy as np
+
+from repro import ZeroED, make_dataset, score_masks
+from repro.config import ZeroEDConfig
+from repro.core.repair import RepairSuggester, apply_repairs
+from repro.data.maskio import read_mask, write_mask
+
+
+def fast_cfg(**kw):
+    base = dict(
+        label_rate=0.1, mlp_epochs=8, criteria_sample_size=15,
+        embedding_dim=8, seed=0,
+    )
+    base.update(kw)
+    return ZeroEDConfig(**base)
+
+
+class TestFullWorkflow:
+    def test_detect_persist_repair_cycle(self, tmp_path):
+        data = make_dataset("beers", n_rows=250, seed=1)
+        result = ZeroED(fast_cfg()).detect(data.dirty)
+
+        # Persist and reload the predicted mask.
+        write_mask(result.mask, tmp_path / "pred.json")
+        reloaded = read_mask(tmp_path / "pred.json")
+        assert reloaded == result.mask
+
+        # Repair the flagged cells and verify the table got *cleaner*.
+        suggestions = RepairSuggester(data.dirty).suggest(reloaded)
+        repaired = apply_repairs(data.dirty, suggestions)
+        before = sum(
+            data.dirty.cell(i, a) != data.clean.cell(i, a)
+            for i in range(data.dirty.n_rows)
+            for a in data.dirty.attributes
+        )
+        after = sum(
+            repaired.cell(i, a) != data.clean.cell(i, a)
+            for i in range(repaired.n_rows)
+            for a in repaired.attributes
+        )
+        assert after < before
+
+    def test_detection_beats_chance_on_every_dataset(self):
+        # Light-weight sanity across all six comparison datasets: F1
+        # must beat the all-flagged baseline (precision = error rate).
+        for name in ("hospital", "flights", "beers", "rayyan"):
+            data = make_dataset(name, n_rows=200, seed=2)
+            result = ZeroED(fast_cfg()).detect(data.dirty)
+            prf = result.score(data.mask)
+            error_rate = data.mask.error_rate()
+            all_flagged_f1 = 2 * error_rate / (1 + error_rate)
+            assert prf.f1 > all_flagged_f1, name
+
+    def test_token_cost_scales_sublinearly_vs_fm_ed(self):
+        from repro.baselines import FMED
+        from repro.llm.simulated.engine import SimulatedLLM
+
+        small = make_dataset("beers", n_rows=150, seed=0)
+        large = make_dataset("beers", n_rows=600, seed=0)
+        z_small = ZeroED(fast_cfg()).detect(small.dirty)
+        z_large = ZeroED(fast_cfg()).detect(large.dirty)
+        f_small = FMED(SimulatedLLM(seed=0)).detect(small.dirty)
+        f_large = FMED(SimulatedLLM(seed=0)).detect(large.dirty)
+        fm_growth = f_large.total_tokens / f_small.total_tokens
+        zeroed_growth = z_large.total_tokens / z_small.total_tokens
+        assert fm_growth > zeroed_growth
+
+    def test_repeatability_across_fresh_pipelines(self):
+        data = make_dataset("rayyan", n_rows=200, seed=3)
+        masks = [
+            ZeroED(fast_cfg()).detect(data.dirty).mask for _ in range(2)
+        ]
+        assert masks[0] == masks[1]
+
+    def test_ablation_configs_change_behaviour(self):
+        data = make_dataset("beers", n_rows=250, seed=0)
+        full = ZeroED(fast_cfg()).detect(data.dirty)
+        ablated = ZeroED(fast_cfg().ablated("crit")).detect(data.dirty)
+        # The ablation genuinely changes the computation.
+        assert full.mask != ablated.mask or full.input_tokens != ablated.input_tokens

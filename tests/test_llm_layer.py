@@ -1,0 +1,109 @@
+"""Tests for repro.llm: tokens, client, profiles, prompts."""
+
+import pytest
+
+from repro.data.errortypes import ErrorType
+from repro.errors import ConfigError, LLMError
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.llm.profiles import (
+    DEFAULT_PROFILE,
+    GPT_4O_MINI,
+    PROFILES,
+    QWEN_72B,
+    get_profile,
+)
+from repro.llm.prompts import serialize_rows, serialize_tuple
+from repro.llm.tokens import TokenLedger, estimate_tokens
+
+
+class TestTokens:
+    def test_empty(self):
+        assert estimate_tokens("") == 0
+
+    def test_words_floor(self):
+        assert estimate_tokens("a b c d") >= 4
+
+    def test_chars_heuristic_for_code(self):
+        text = "x" * 400
+        assert estimate_tokens(text) == 100
+
+    def test_ledger_accumulates(self):
+        ledger = TokenLedger()
+        ledger.record("criteria", 10, 5)
+        ledger.record("criteria", 10, 5)
+        ledger.record("guideline", 7, 3)
+        assert ledger.total.input_tokens == 27
+        assert ledger.total.output_tokens == 13
+        assert ledger.by_kind["criteria"].input_tokens == 20
+        assert ledger.n_requests == 3
+
+    def test_ledger_reset(self):
+        ledger = TokenLedger()
+        ledger.record("augment", 1, 1)
+        ledger.reset()
+        assert ledger.summary()["total_tokens"] == 0
+
+
+class TestRequest:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LLMError):
+            LLMRequest(kind="nonsense", prompt="x")
+
+    def test_serialize_tuple_format(self):
+        s = serialize_tuple({"a": "1", "b": ""})
+        assert s == "{a: 1, b: }"
+
+    def test_serialize_rows_lines(self):
+        s = serialize_rows([{"a": "1"}, {"a": "2"}])
+        assert s.count("\n") == 1
+
+
+class _Echo(LLMClient):
+    model_name = "echo"
+
+    def _complete(self, request):
+        return LLMResponse(text="out " * 8, payload=None)
+
+
+class TestClientAccounting:
+    def test_tokens_recorded(self):
+        client = _Echo()
+        client.complete(LLMRequest(kind="augment", prompt="word " * 20))
+        summary = client.ledger.summary()
+        assert summary["requests"] == 1
+        assert summary["input_tokens"] >= 20
+        assert summary["output_tokens"] >= 8
+
+
+class TestProfiles:
+    def test_registry_contains_table5_models(self):
+        assert set(PROFILES) == {
+            "qwen2.5-72b", "llama3.1-70b", "llama3.1-8b",
+            "qwen2.5-7b", "gpt-4o-mini",
+        }
+
+    def test_default_is_qwen72(self):
+        assert DEFAULT_PROFILE is QWEN_72B
+
+    def test_lookup(self):
+        assert get_profile("gpt-4o-mini") is GPT_4O_MINI
+        with pytest.raises(ConfigError):
+            get_profile("gpt-5")
+
+    def test_ordering_matches_paper(self):
+        # Qwen72b must dominate GPT-4o-mini on precision-driving noise,
+        # and larger models should not have lower recall than smaller
+        # siblings of the same family.
+        assert QWEN_72B.false_positive_rate < GPT_4O_MINI.false_positive_rate
+        for etype in (ErrorType.TYPO, ErrorType.RULE, ErrorType.PATTERN):
+            assert QWEN_72B.recall(etype) >= get_profile("qwen2.5-7b").recall(etype)
+            assert (
+                get_profile("llama3.1-70b").recall(etype)
+                >= get_profile("llama3.1-8b").recall(etype)
+            )
+
+    def test_invalid_probability_rejected(self):
+        from repro.llm.profiles import LLMProfile
+
+        with pytest.raises(ConfigError):
+            LLMProfile(name="bad", false_positive_rate=2.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.data.mask."""
+
+import numpy as np
+import pytest
+
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+def test_zeros_shape():
+    m = ErrorMask.zeros(["a", "b"], 3)
+    assert m.n_rows == 3
+    assert m.error_count() == 0
+
+
+def test_from_tables_ground_truth():
+    clean = Table.from_rows(["a", "b"], [["1", "2"], ["3", "4"]])
+    dirty = clean.copy()
+    dirty.set_cell(0, "b", "X")
+    m = ErrorMask.from_tables(dirty, clean)
+    assert m.get(0, "b") and not m.get(0, "a")
+    assert m.error_count() == 1
+
+
+def test_from_cells_and_error_cells_roundtrip():
+    cells = [(0, "a"), (2, "b")]
+    m = ErrorMask.from_cells(["a", "b"], 3, cells)
+    assert m.error_cells() == cells
+
+
+def test_error_rate():
+    m = ErrorMask.from_cells(["a", "b"], 2, [(0, "a")])
+    assert m.error_rate() == pytest.approx(0.25)
+
+
+def test_set_and_get():
+    m = ErrorMask.zeros(["a"], 2)
+    m.set(1, "a", True)
+    assert m.get(1, "a")
+    m.set(1, "a", False)
+    assert not m.get(1, "a")
+
+
+def test_column_view():
+    m = ErrorMask.from_cells(["a", "b"], 2, [(1, "b")])
+    assert m.column("b").tolist() == [False, True]
+
+
+def test_union_intersection():
+    a = ErrorMask.from_cells(["x"], 3, [(0, "x")])
+    b = ErrorMask.from_cells(["x"], 3, [(0, "x"), (1, "x")])
+    assert a.union(b).error_count() == 2
+    assert a.intersection(b).error_count() == 1
+
+
+def test_misaligned_union_rejected():
+    a = ErrorMask.zeros(["x"], 2)
+    b = ErrorMask.zeros(["y"], 2)
+    with pytest.raises(SchemaError):
+        a.union(b)
+
+
+def test_unknown_attr_rejected():
+    with pytest.raises(SchemaError):
+        ErrorMask.zeros(["x"], 1).get(0, "nope")
+
+
+def test_flat_row_major():
+    m = ErrorMask(["a", "b"], np.array([[True, False], [False, True]]))
+    assert m.flat().tolist() == [True, False, False, True]
+
+
+def test_copy_independent():
+    m = ErrorMask.zeros(["a"], 1)
+    c = m.copy()
+    c.set(0, "a", True)
+    assert not m.get(0, "a")
+
+
+def test_equality():
+    a = ErrorMask.from_cells(["x"], 2, [(0, "x")])
+    b = ErrorMask.from_cells(["x"], 2, [(0, "x")])
+    assert a == b
+    b.set(1, "x", True)
+    assert a != b

@@ -1,0 +1,114 @@
+"""Tests for mask/dataset persistence and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.mask import ErrorMask
+from repro.data.maskio import (
+    read_dataset,
+    read_mask,
+    write_dataset,
+    write_mask,
+)
+from repro.data.registry import get_dataset
+from repro.errors import DataError
+
+
+class TestMaskIO:
+    def test_mask_roundtrip(self, tmp_path):
+        mask = ErrorMask.from_cells(["a", "b"], 5, [(0, "a"), (4, "b")])
+        path = tmp_path / "mask.json"
+        write_mask(mask, path)
+        assert read_mask(path) == mask
+
+    def test_mask_file_is_compact_json(self, tmp_path):
+        mask = ErrorMask.zeros(["a"], 1000)
+        path = tmp_path / "mask.json"
+        write_mask(mask, path)
+        payload = json.loads(path.read_text())
+        assert payload["errors"] == []
+        assert payload["n_rows"] == 1000
+
+    def test_corrupt_mask_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {")
+        with pytest.raises(DataError):
+            read_mask(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"attributes": ["a"]}))
+        with pytest.raises(DataError):
+            read_mask(path)
+
+    def test_dataset_roundtrip(self, tmp_path):
+        data = get_dataset("beers").make(n_rows=50, seed=0)
+        write_dataset(data, tmp_path / "ds")
+        back = read_dataset(tmp_path / "ds")
+        assert back.dirty == data.dirty
+        assert back.clean == data.clean
+        assert back.mask == data.mask
+
+    def test_misaligned_dataset_rejected(self, tmp_path):
+        data = get_dataset("beers").make(n_rows=50, seed=0)
+        directory = write_dataset(data, tmp_path / "ds")
+        # Corrupt the mask schema.
+        other = ErrorMask.zeros(["wrong"], 50)
+        write_mask(other, directory / "mask.json")
+        with pytest.raises(DataError):
+            read_dataset(directory)
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "hospital" in out and "tax" in out
+
+    def test_generate_command(self, tmp_path, capsys):
+        code = main([
+            "generate", "beers", str(tmp_path / "out"), "--rows", "40",
+        ])
+        assert code == 0
+        assert (tmp_path / "out" / "dirty.csv").exists()
+        assert (tmp_path / "out" / "mask.json").exists()
+
+    def test_detect_command_fast_method(self, tmp_path, capsys):
+        mask_out = tmp_path / "pred.json"
+        code = main([
+            "detect", "beers", "--method", "dboost", "--rows", "120",
+            "--mask-out", str(mask_out),
+        ])
+        assert code == 0
+        assert "F1=" in capsys.readouterr().out
+        assert mask_out.exists()
+
+    def test_detect_csv_command(self, tmp_path, capsys):
+        data = get_dataset("beers").make(n_rows=120, seed=0)
+        from repro.data.csvio import write_csv
+
+        csv_path = tmp_path / "dirty.csv"
+        write_csv(data.dirty, csv_path)
+        code = main(["detect-csv", str(csv_path), "--label-rate", "0.1"])
+        assert code == 0
+        assert "flagged" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--datasets", "beers", "--methods", "dboost,nadeef",
+            "--rows", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dboost" in out and "nadeef" in out
+
+    def test_repair_command(self, capsys):
+        code = main(["repair", "beers", "--rows", "150", "--limit", "3"])
+        assert code == 0
+        assert "suggestions" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "not-a-dataset"])

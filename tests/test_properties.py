@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+from repro.llm.tokens import estimate_tokens
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import precision_recall_f1
+from repro.ml.nmi import entropy, normalized_mutual_information
+from repro.text.distance import levenshtein
+from repro.text.embeddings import SubwordHashEmbedding
+from repro.text.patterns import generalize
+from repro.text.tokenize import tokenize
+
+# Printable-ish cell text without surrogate weirdness.
+cell_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    max_size=30,
+)
+short_words = st.text(
+    alphabet=st.sampled_from("abcdefgh"), min_size=0, max_size=12
+)
+
+
+class TestLevenshteinProperties:
+    @given(short_words, short_words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_words)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_words, short_words)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_words, short_words)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(short_words, short_words, short_words)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_words, short_words)
+    def test_limit_consistency(self, a, b):
+        exact = levenshtein(a, b)
+        limited = levenshtein(a, b, limit=3)
+        if exact <= 3:
+            assert limited == exact
+        else:
+            assert limited == 4
+
+
+class TestPatternProperties:
+    @given(cell_text)
+    def test_same_value_same_pattern(self, value):
+        assert generalize(value, 3) == generalize(value, 3)
+
+    # ASCII only: Unicode case folding can change length ('ß' -> 'SS').
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=30))
+    def test_l2_invariant_under_case(self, value):
+        assert generalize(value.upper(), 2) == generalize(value.lower(), 2)
+
+    @given(cell_text)
+    def test_empty_iff_empty(self, value):
+        pattern = generalize(value, 1)
+        assert (pattern == "") == (value == "")
+
+    @given(st.text(alphabet=st.sampled_from("0123456789"), min_size=1, max_size=10))
+    def test_digits_collapse_to_single_run(self, digits):
+        assert generalize(digits, 3) == f"D[{len(digits)}]"
+
+
+class TestTokenizeProperties:
+    @given(cell_text)
+    def test_tokens_lowercase(self, value):
+        for token in tokenize(value):
+            assert token == token.lower()
+
+    @given(cell_text)
+    def test_no_empty_tokens(self, value):
+        assert all(tokenize(value))
+
+
+class TestEmbeddingProperties:
+    emb = SubwordHashEmbedding(dim=8, seed=1)
+
+    @given(cell_text)
+    @settings(max_examples=50)
+    def test_deterministic(self, value):
+        assert np.allclose(self.emb.embed(value), self.emb.embed(value))
+
+    @given(cell_text)
+    @settings(max_examples=50)
+    def test_finite(self, value):
+        assert np.all(np.isfinite(self.emb.embed(value)))
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=50), st.data())
+    def test_bounds(self, truth, data):
+        pred = data.draw(
+            st.lists(st.booleans(), min_size=len(truth), max_size=len(truth))
+        )
+        m = precision_recall_f1(np.array(pred), np.array(truth))
+        for value in (m.precision, m.recall, m.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    def test_perfect_prediction(self, truth):
+        m = precision_recall_f1(np.array(truth), np.array(truth))
+        if any(truth):
+            assert m.f1 == 1.0
+        else:
+            assert m.tp == 0 and m.fp == 0
+
+
+class TestNMIProperties:
+    labels = st.lists(
+        st.sampled_from(["a", "b", "c"]), min_size=2, max_size=60
+    )
+
+    @given(labels)
+    def test_self_nmi_is_one_unless_constant(self, xs):
+        nmi = normalized_mutual_information(xs, xs)
+        if len(set(xs)) > 1:
+            assert abs(nmi - 1.0) < 1e-9
+        else:
+            assert nmi == 0.0
+
+    @given(labels, st.data())
+    def test_symmetric(self, xs, data):
+        ys = data.draw(
+            st.lists(
+                st.sampled_from(["p", "q"]),
+                min_size=len(xs),
+                max_size=len(xs),
+            )
+        )
+        assert normalized_mutual_information(
+            xs, ys
+        ) == normalized_mutual_information(ys, xs)
+
+    @given(labels)
+    def test_entropy_nonnegative(self, xs):
+        assert entropy(xs) >= 0.0
+
+
+class TestMaskProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.data(),
+    )
+    def test_union_contains_both(self, n_rows, n_attrs, data):
+        attrs = [f"a{i}" for i in range(n_attrs)]
+        cells = st.lists(
+            st.tuples(
+                st.integers(0, n_rows - 1), st.sampled_from(attrs)
+            ),
+            max_size=10,
+        )
+        a = ErrorMask.from_cells(attrs, n_rows, data.draw(cells))
+        b = ErrorMask.from_cells(attrs, n_rows, data.draw(cells))
+        union = a.union(b)
+        assert union.error_count() >= max(a.error_count(), b.error_count())
+        inter = a.intersection(b)
+        assert inter.error_count() <= min(a.error_count(), b.error_count())
+
+    @given(st.integers(1, 15), st.integers(1, 4))
+    def test_diff_roundtrip(self, n_rows, n_attrs):
+        attrs = [f"a{i}" for i in range(n_attrs)]
+        rows = [[f"v{i}{j}" for j in range(n_attrs)] for i in range(n_rows)]
+        t = Table.from_rows(attrs, rows)
+        mask = ErrorMask.from_tables(t, t)
+        assert mask.error_count() == 0
+
+
+class TestTokenEstimateProperties:
+    @given(cell_text)
+    def test_nonnegative_and_monotone(self, text):
+        assert estimate_tokens(text) >= 0
+        assert estimate_tokens(text + " extra") >= estimate_tokens(text)
+
+
+class TestKMeansProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=10, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_labels_within_range(self, k, n):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (n, 2))
+        labels = KMeans(k, seed=0).fit_predict(x)
+        assert labels.shape == (n,)
+        assert labels.min() >= 0
+        assert labels.max() < k

@@ -1,0 +1,89 @@
+"""Property-based tests on injector and criteria-generation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.criteria import compile_criteria
+from repro.data.injector import ErrorInjector, ErrorProfile
+from repro.data.table import Table
+from repro.llm.simulated import codegen
+
+value_pool = st.sampled_from(
+    ["Boston", "Chicago", "Denver", "12.5", "code-7", "N42", "", "x"]
+)
+
+
+class TestInjectorProperties:
+    @given(
+        st.integers(min_value=10, max_value=60),
+        st.floats(min_value=0.0, max_value=0.2),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mask_equals_diff_and_bounded(self, n, rate, seed):
+        rng = np.random.default_rng(0)
+        clean = Table.from_rows(
+            ["x", "y"],
+            [[f"val{int(rng.integers(5))}", str(int(rng.integers(100, 999)))]
+             for _ in range(n)],
+        )
+        profile = ErrorProfile(typo=rate / 2, missing=rate / 2)
+        result = ErrorInjector(profile, seed=seed).inject(clean)
+        # Invariant 1: the mask is exactly the dirty-vs-clean diff.
+        recomputed = np.array(result.dirty.diff_mask(result.clean))
+        assert (result.mask.matrix == recomputed).all()
+        # Invariant 2: injected records only cover true differences.
+        for (i, attr) in result.injected:
+            assert result.dirty.cell(i, attr) != result.clean.cell(i, attr)
+        # Invariant 3: error rate cannot exceed the requested budget by
+        # more than rounding slack.
+        budget = profile.total() + 2 / (n * 2)
+        assert result.mask.error_rate() <= budget + 1e-9
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_injection_idempotent_per_seed(self, seed):
+        clean = Table.from_rows(
+            ["x"], [[f"w{i % 4}"] for i in range(40)]
+        )
+        profile = ErrorProfile(typo=0.1)
+        a = ErrorInjector(profile, seed=seed).inject(clean)
+        b = ErrorInjector(profile, seed=seed).inject(clean)
+        assert a.dirty == b.dirty and a.mask == b.mask
+
+
+class TestCodegenProperties:
+    @given(
+        st.lists(value_pool, min_size=4, max_size=40),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_criteria_always_compile(self, values, seed):
+        rng = np.random.default_rng(seed)
+        rows = [{"attr0": v} for v in values]
+        specs = codegen.generate_criteria(
+            "attr0", rows, [], coverage=1.0, noise=0.1, rng=rng
+        )
+        crits = compile_criteria("attr0", specs)
+        # Every emitted spec must compile (the simulator never emits
+        # syntactically-broken code) ...
+        assert len(crits) == len(specs)
+        # ... and every criterion must evaluate without raising on any
+        # of the values it was derived from.
+        for crit in crits:
+            for v in values:
+                assert crit.check({"attr0": v}) in (True, False)
+
+    @given(st.lists(st.sampled_from(["A-1", "B-2", "C-3"]), min_size=6, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_pattern_regex_accepts_its_sources(self, values):
+        regex = codegen.induce_pattern_regex(values)
+        if regex is None:
+            return
+        import re
+
+        compiled = re.compile(regex)
+        for v in values:
+            if v:
+                assert compiled.fullmatch(v) is not None

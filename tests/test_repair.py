@@ -1,0 +1,95 @@
+"""Tests for repro.core.repair."""
+
+import pytest
+
+from repro.core.repair import RepairSuggester, apply_repairs
+from repro.data.mask import ErrorMask
+from repro.data.table import Table
+
+
+def table():
+    rows = (
+        [["Boston", "MA", "bachelor"]] * 10
+        + [["Chicago", "IL", "master"]] * 10
+        + [
+            ["Boston", "TX", "bachelor"],    # rule violation at state
+            ["Chicago", "IL", "mastxr"],     # typo at degree
+            ["Boston", "MA", ""],            # missing degree
+        ]
+    )
+    return Table.from_rows(["city", "state", "degree"], rows, name="t")
+
+
+class TestSuggestions:
+    def test_dependency_repair_for_rule_violation(self):
+        t = table()
+        s = RepairSuggester(t).suggest_cell(20, "state")
+        assert s is not None
+        assert s.suggestion == "MA"
+        assert s.source == "dependency"
+
+    def test_near_duplicate_repair_for_typo(self):
+        t = table()
+        s = RepairSuggester(t).suggest_cell(21, "degree")
+        assert s is not None
+        assert s.suggestion == "mastxr" or s.suggestion in ("master", "bachelor")
+        # The typo sits one edit from 'master'.
+        assert s.suggestion == "master"
+
+    def test_mode_repair_for_missing_categorical(self):
+        t = table()
+        s = RepairSuggester(t, min_confidence=0.1).suggest_cell(22, "degree")
+        assert s is not None
+        assert s.source in ("mode", "dependency")
+        assert s.suggestion in ("bachelor", "master")
+
+    def test_none_below_confidence(self):
+        t = table()
+        s = RepairSuggester(t, min_confidence=0.99).suggest_cell(21, "degree")
+        assert s is None
+
+    def test_clean_cell_usually_no_suggestion(self):
+        t = table()
+        s = RepairSuggester(t).suggest_cell(0, "city")
+        # Consistent value with consistent context: nothing to change.
+        assert s is None or s.suggestion != "Boston"
+
+
+class TestSuggestAndApply:
+    def test_suggest_covers_masked_cells_only(self):
+        t = table()
+        mask = ErrorMask.from_cells(
+            t.attributes, t.n_rows, [(20, "state"), (21, "degree")]
+        )
+        suggestions = RepairSuggester(t).suggest(mask)
+        assert {(s.row, s.attr) for s in suggestions} <= {
+            (20, "state"), (21, "degree"),
+        }
+
+    def test_apply_repairs_copy_semantics(self):
+        t = table()
+        mask = ErrorMask.from_cells(t.attributes, t.n_rows, [(20, "state")])
+        suggestions = RepairSuggester(t).suggest(mask)
+        repaired = apply_repairs(t, suggestions)
+        assert t.cell(20, "state") == "TX"  # original untouched
+        if suggestions:
+            assert repaired.cell(20, "state") == "MA"
+
+    def test_str_rendering(self):
+        t = table()
+        s = RepairSuggester(t).suggest_cell(20, "state")
+        assert "state" in str(s) and "->" in str(s)
+
+
+class TestEndToEnd:
+    def test_majority_of_repairs_match_ground_truth(self, small_hospital):
+        # Use ground truth as the detection mask: repair quality in
+        # isolation from detection quality.
+        suggester = RepairSuggester(small_hospital.dirty)
+        suggestions = suggester.suggest(small_hospital.mask)
+        assert suggestions
+        correct = sum(
+            1 for s in suggestions
+            if s.suggestion == small_hospital.clean.cell(s.row, s.attr)
+        )
+        assert correct / len(suggestions) > 0.6

@@ -1,0 +1,73 @@
+"""Tests for DetectionResult and bench reporting helpers."""
+
+import json
+
+from repro.bench.reporting import format_table, write_json
+from repro.core.result import DetectionResult, StageInfo
+from repro.data.mask import ErrorMask
+
+
+def make_result():
+    return DetectionResult(
+        mask=ErrorMask.from_cells(["a"], 4, [(1, "a")]),
+        dataset="d",
+        method="m",
+        stages=[
+            StageInfo(name="s1", seconds=1.5, input_tokens=10, output_tokens=5),
+            StageInfo(name="s2", seconds=0.5),
+        ],
+        n_llm_requests=3,
+        input_tokens=10,
+        output_tokens=5,
+    )
+
+
+class TestDetectionResult:
+    def test_total_seconds(self):
+        assert make_result().total_seconds == 2.0
+
+    def test_total_tokens(self):
+        assert make_result().total_tokens == 15
+
+    def test_stage_summary(self):
+        assert make_result().stage_summary() == {"s1": 1.5, "s2": 0.5}
+
+    def test_score(self):
+        result = make_result()
+        truth = ErrorMask.from_cells(["a"], 4, [(1, "a"), (2, "a")])
+        prf = result.score(truth)
+        assert prf.precision == 1.0
+        assert prf.recall == 0.5
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "alpha", "value": 1},
+            {"name": "b", "value": 22},
+        ]
+        text = format_table(rows, ["name", "value"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]
+        # Columns align: both values start at the same offset.
+        assert lines[3].index("1") == lines[4].index("22")
+
+    def test_format_table_missing_keys(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert "b" in text  # header present even if values missing
+
+    def test_format_table_empty_rows(self):
+        text = format_table([], ["a"])
+        assert "a" in text
+
+    def test_write_json_creates_dirs(self, tmp_path):
+        path = write_json(tmp_path / "deep" / "file.json", {"x": [1, 2]})
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+
+    def test_write_json_serialises_nonstandard(self, tmp_path):
+        from repro.data.errortypes import ErrorType
+
+        path = write_json(tmp_path / "f.json", {"t": ErrorType.TYPO})
+        assert "TYPO" in path.read_text()

@@ -1,0 +1,117 @@
+"""Tests for repro.data.rules and repro.data.kb."""
+
+from repro.data.kb import KnowledgeBase
+from repro.data.rules import (
+    CheckRule,
+    DomainRule,
+    FDRule,
+    NotNullRule,
+    PatternRule,
+    RangeRule,
+)
+from repro.data.table import Table
+
+
+def table():
+    return Table.from_rows(
+        ["city", "state", "zip", "age"],
+        [
+            ["Boston", "MA", "02115", "30"],
+            ["Boston", "MA", "02116", "41"],
+            ["Boston", "TX", "02117", "29"],   # FD violation
+            ["Chicago", "IL", "6060", "250"],  # bad zip, bad age
+            ["", "IL", "60601", "abc"],        # null city, non-numeric age
+        ],
+    )
+
+
+class TestNotNull:
+    def test_flags_empty_and_placeholders(self):
+        t = Table.from_rows(["x"], [["ok"], [""], ["N/A"], ["?"]])
+        assert NotNullRule("x").violations(t) == [(1, "x"), (2, "x"), (3, "x")]
+
+    def test_unknown_attr_silent(self):
+        assert NotNullRule("nope").violations(table()) == []
+
+
+class TestPattern:
+    def test_flags_non_matching(self):
+        v = PatternRule("zip", r"\d{5}").violations(table())
+        assert (3, "zip") in v and (0, "zip") not in v
+
+    def test_empty_values_skipped(self):
+        t = Table.from_rows(["x"], [[""], ["abc"]])
+        assert PatternRule("x", r"\d+").violations(t) == [(1, "x")]
+
+    def test_requires_full_match(self):
+        t = Table.from_rows(["x"], [["123abc"]])
+        assert PatternRule("x", r"\d+").violations(t) == [(0, "x")]
+
+
+class TestDomain:
+    def test_flags_outside_domain(self):
+        v = DomainRule.of("state", ["MA", "IL"]).violations(table())
+        assert (2, "state") in v
+
+    def test_empty_tolerated(self):
+        t = Table.from_rows(["x"], [[""], ["bad"]])
+        assert DomainRule.of("x", ["good"]).violations(t) == [(1, "x")]
+
+
+class TestRange:
+    def test_flags_out_of_range_and_non_numeric(self):
+        v = RangeRule("age", 0, 120).violations(table())
+        assert (3, "age") in v and (4, "age") in v
+        assert (0, "age") not in v
+
+
+class TestFD:
+    def test_flags_all_cells_of_violating_group(self):
+        v = FDRule("city", "state").violations(table())
+        # Boston group has two distinct states -> all three Boston rows
+        # flagged (denial-constraint semantics).
+        assert {(0, "state"), (1, "state"), (2, "state")} <= set(v)
+        # Chicago group is consistent.
+        assert (3, "state") not in v
+
+    def test_clean_fd_no_violations(self):
+        t = Table.from_rows(
+            ["a", "b"], [["x", "1"], ["x", "1"], ["y", "2"]]
+        )
+        assert FDRule("a", "b").violations(t) == []
+
+
+class TestCheck:
+    def test_predicate_failure_flagged(self):
+        rule = CheckRule("age", lambda row: row["age"].isdigit())
+        v = rule.violations(table())
+        assert (4, "age") in v and (0, "age") not in v
+
+    def test_predicate_exception_counts_as_violation(self):
+        rule = CheckRule("age", lambda row: 1 / 0)
+        assert len(rule.violations(table())) == table().n_rows
+
+
+class TestKnowledgeBase:
+    def test_empty(self):
+        assert KnowledgeBase().is_empty()
+
+    def test_relations(self):
+        kb = KnowledgeBase()
+        kb.add_relation("city", "state", [("Boston", "MA")])
+        assert kb.knows_lhs("city", "state", "Boston")
+        assert not kb.knows_lhs("city", "state", "Chicago")
+        assert kb.pair_valid("city", "state", "Boston", "MA")
+        assert not kb.pair_valid("city", "state", "Boston", "TX")
+
+    def test_domains(self):
+        kb = KnowledgeBase()
+        kb.add_domain("state", ["MA", "IL"])
+        assert kb.domain_valid("state", "MA")
+        assert not kb.domain_valid("state", "XX")
+
+    def test_covers_attribute(self):
+        kb = KnowledgeBase()
+        kb.add_relation("a", "b", [("1", "2")])
+        assert kb.covers_attribute("a") and kb.covers_attribute("b")
+        assert not kb.covers_attribute("c")

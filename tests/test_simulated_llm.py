@@ -1,0 +1,317 @@
+"""Tests for the simulated LLM backend (engine + reasoning modules)."""
+
+import numpy as np
+import pytest
+
+from repro.criteria import compile_criteria
+from repro.data.errortypes import ErrorType
+from repro.data.stats import AttributeStats, PairStats
+from repro.data.table import Table
+from repro.errors import LLMError
+from repro.llm.client import LLMRequest
+from repro.llm.profiles import GPT_4O_MINI, QWEN_72B
+from repro.llm.simulated import codegen, world
+from repro.llm.simulated.augment import generate_error_values
+from repro.llm.simulated.engine import SimulatedLLM
+from repro.llm.simulated.labeling import detect_error_type
+from repro.llm.simulated.tuple_check import check_tuple
+
+
+def sample_rows(n=30):
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "code": f"A-{int(rng.integers(1, 5))}",
+                "city": ["Boston", "Chicago"][int(rng.integers(2))],
+                "salary": str(int(rng.integers(30, 90)) * 1000),
+            }
+        )
+    return rows
+
+
+class TestCodegen:
+    def test_missing_criterion_behaviour(self):
+        crit = compile_criteria("x", [codegen.missing_criterion()])[0]
+        assert not crit.check({"x": "NULL"})
+        assert not crit.check({"x": ""})
+        assert crit.check({"x": "fine"})
+
+    def test_pattern_criterion_accepts_samples(self):
+        values = [f"A-{i}" for i in range(1, 9)]
+        spec = codegen.pattern_criterion(values)
+        crit = compile_criteria("x", [spec])[0]
+        assert all(crit.check({"x": v}) for v in values)
+        assert not crit.check({"x": "@@@@@@"})
+
+    def test_pattern_criterion_none_for_empty(self):
+        assert codegen.pattern_criterion(["", ""]) is None
+
+    def test_range_criterion_bounds(self):
+        rng = np.random.default_rng(0)
+        values = [str(v) for v in range(100, 200, 10)]
+        spec = codegen.range_criterion(values, noise=0.0, rng=rng)
+        crit = compile_criteria("x", [spec])[0]
+        assert crit.check({"x": "150"})
+        assert not crit.check({"x": "1000000"})
+        assert not crit.check({"x": "not-a-number"})
+
+    def test_range_requires_mostly_numeric(self):
+        rng = np.random.default_rng(0)
+        assert codegen.range_criterion(["a", "b", "1"], 0.0, rng) is None
+
+    def test_domain_criterion_enum(self):
+        values = ["Yes", "No"] * 10
+        crit = compile_criteria("x", [codegen.domain_criterion(values)])[0]
+        assert crit.check({"x": "Yes"})
+        assert not crit.check({"x": "Maybe"})
+
+    def test_domain_none_for_high_cardinality(self):
+        values = [f"v{i}" for i in range(30)]
+        assert codegen.domain_criterion(values) is None
+
+    def test_consistency_criterion_mapping(self):
+        rows = [{"city": "Boston", "state": "MA"}] * 4 + [
+            {"city": "Chicago", "state": "IL"}
+        ] * 4
+        spec = codegen.consistency_criterion("state", "city", rows)
+        crit = compile_criteria("state", [spec])[0]
+        assert crit.check({"state": "MA", "city": "Boston"})
+        assert not crit.check({"state": "TX", "city": "Boston"})
+        assert crit.check({"state": "??", "city": "UnknownCity"})
+        assert spec["context_attrs"] == ["city"]
+
+    def test_generate_criteria_full_coverage(self):
+        rng = np.random.default_rng(0)
+        specs = codegen.generate_criteria(
+            "salary", sample_rows(), ["city"], coverage=1.0, noise=0.0, rng=rng
+        )
+        names = {s["name"] for s in specs}
+        assert "is_clean_not_missing" in names
+        assert "is_clean_range" in names
+
+    def test_generate_criteria_never_empty(self):
+        rng = np.random.default_rng(0)
+        specs = codegen.generate_criteria(
+            "salary", sample_rows(5), [], coverage=0.0, noise=0.0, rng=rng
+        )
+        assert len(specs) >= 1
+
+
+class TestLabelingReasoning:
+    def make_stats(self, values):
+        t = Table.from_rows(["x"], [[v] for v in values])
+        return AttributeStats.compute(t, "x")
+
+    def test_missing_detected(self):
+        stats = self.make_stats(["a"] * 20)
+        assert detect_error_type("", {}, stats, {}, True) is ErrorType.MISSING
+
+    def test_missing_tolerated_in_sparse_column(self):
+        stats = self.make_stats([""] * 15 + ["a"] * 5)
+        assert detect_error_type("", {}, stats, {}, True) is None
+
+    def test_numeric_outlier(self):
+        stats = self.make_stats([str(v) for v in range(100, 200)])
+        assert (
+            detect_error_type("99999", {}, stats, {}, True)
+            is ErrorType.OUTLIER
+        )
+
+    def test_unparseable_numeric_is_pattern(self):
+        stats = self.make_stats([str(v) for v in range(100, 200)])
+        assert (
+            detect_error_type("1x5_", {}, stats, {}, True)
+            is ErrorType.PATTERN
+        )
+
+    def test_typo_near_frequent(self):
+        stats = self.make_stats(["bachelor"] * 50 + ["master"] * 50)
+        assert (
+            detect_error_type("bachelxr", {}, stats, {}, True)
+            is ErrorType.TYPO
+        )
+
+    def test_rule_violation_with_pair_context(self):
+        t = Table.from_rows(
+            ["city", "state"],
+            [["Boston", "MA"]] * 50 + [["Chicago", "IL"]] * 50,
+        )
+        stats = AttributeStats.compute(t, "state")
+        ps = {"city": PairStats.compute(t, "city", "state")}
+        assert (
+            detect_error_type("IL", {"city": "Boston"}, stats, ps, True)
+            is ErrorType.RULE
+        )
+        assert (
+            detect_error_type("MA", {"city": "Boston"}, stats, ps, True)
+            is None
+        )
+
+    def test_unguided_loses_distribution_checks(self):
+        # A value whose *format* is foreign to the column but which is
+        # not a near-duplicate of any frequent value: only the guided
+        # (distribution-grounded) reasoning can flag it.
+        values = [f"{h}:{m:02d}" for h in range(1, 11) for m in range(0, 50, 5)]
+        stats = self.make_stats(values)
+        guided = detect_error_type("99.99.99", {}, stats, {}, True)
+        unguided = detect_error_type("99.99.99", {}, stats, {}, False)
+        assert guided is ErrorType.PATTERN
+        assert unguided is None
+
+    def test_clean_frequent_value_passes(self):
+        stats = self.make_stats(["common"] * 90 + ["other"] * 10)
+        assert detect_error_type("common", {}, stats, {}, True) is None
+
+
+class TestAugment:
+    def test_variants_mostly_differ(self):
+        rng = np.random.default_rng(0)
+        clean = ["Boston", "Chicago", "Denver"] * 5
+        out = generate_error_values(clean, 50, fidelity=1.0, rng=rng)
+        assert len(out) == 50
+        assert sum(1 for v in out if v in clean) < 25  # swaps may collide
+
+    def test_zero_fidelity_returns_clean(self):
+        rng = np.random.default_rng(0)
+        out = generate_error_values(["abc"], 10, fidelity=0.0, rng=rng)
+        assert out == ["abc"] * 10
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(0)
+        assert generate_error_values([], 5, 1.0, rng) == []
+
+
+class TestWorldKnowledge:
+    def test_city_state_contradiction(self):
+        row = {"City": "Chicago", "State": "TX"}
+        assert "State" in world.relation_contradictions(row)
+
+    def test_consistent_row_clean(self):
+        row = {"City": "Chicago", "State": "IL"}
+        assert world.relation_contradictions(row) == []
+
+    def test_unknown_city_no_judgement(self):
+        row = {"City": "Atlantis", "State": "TX"}
+        assert world.relation_contradictions(row) == []
+
+    def test_measure_code_condition(self):
+        row = {"MeasureCode": "SCIP-INF-1", "Condition": "Pneumonia"}
+        assert "Condition" in world.relation_contradictions(row)
+
+    def test_misspelled_word(self):
+        assert world.looks_misspelled("Bechelor")  # 1 edit from Bachelor
+        assert not world.looks_misspelled("Bachelor")
+        assert not world.looks_misspelled("xqzwv")  # not near anything
+
+
+class TestTupleCheck:
+    def test_placeholder_flagged_empty_tolerated(self):
+        rng = np.random.default_rng(0)
+        verdicts = check_tuple(
+            {"a": "N/A", "b": "", "c": "fine"}, 0.0, rng
+        )
+        assert verdicts["a"] and not verdicts["b"] and not verdicts["c"]
+
+    def test_malformed_time(self):
+        rng = np.random.default_rng(0)
+        verdicts = check_tuple({"t": "25:99 p.m."}, 0.0, rng)
+        assert verdicts["t"]
+
+    def test_malformed_date(self):
+        rng = np.random.default_rng(0)
+        assert check_tuple({"d": "2020-15-40"}, 0.0, rng)["d"]
+        assert not check_tuple({"d": "2020-05-14"}, 0.0, rng)["d"]
+
+    def test_junk(self):
+        rng = np.random.default_rng(0)
+        assert check_tuple({"x": "@value@"}, 0.0, rng)["x"]
+
+
+class TestEngine:
+    def kinds_payloads(self, table):
+        rows = [table.row(i) for i in range(10)]
+        stats = AttributeStats.compute(table, "city")
+        return {
+            "criteria": {
+                "dataset": "t", "attr": "city",
+                "sample_rows": rows, "correlated": ["state"],
+            },
+            "analysis_functions": {"dataset": "t", "attr": "city"},
+            "guideline": {
+                "dataset": "t", "attr": "city",
+                "analysis_text": "stats here", "example_block": "examples",
+            },
+            "error_descriptions": {},
+            "label_batch": {
+                "dataset": "t", "attr": "city", "batch_id": 0,
+                "values": [r["city"] for r in rows],
+                "contexts": [{} for _ in rows],
+                "stats": stats, "pair_stats": {}, "guided": True,
+            },
+            "contrastive_criteria": {
+                "dataset": "t", "attr": "city",
+                "error_values": ["@bad@"], "clean_rows": rows,
+                "correlated": [],
+            },
+            "augment": {
+                "dataset": "t", "attr": "city",
+                "clean_values": ["Boston", "Chicago"], "n": 5,
+            },
+            "tuple_check": {"dataset": "t", "row": rows[0], "row_id": 0},
+        }
+
+    def table(self):
+        return Table.from_rows(
+            ["city", "state"],
+            [["Boston", "MA"], ["Chicago", "IL"]] * 10,
+            name="t",
+        )
+
+    def test_all_kinds_served(self):
+        llm = SimulatedLLM(seed=0)
+        for kind, payload in self.kinds_payloads(self.table()).items():
+            response = llm.complete(
+                LLMRequest(kind=kind, prompt="p", payload=payload)
+            )
+            assert response.text
+
+    def test_deterministic_responses(self):
+        payloads = self.kinds_payloads(self.table())
+        for kind in ("criteria", "label_batch", "augment"):
+            r1 = SimulatedLLM(seed=3).complete(
+                LLMRequest(kind=kind, prompt="p", payload=payloads[kind])
+            )
+            r2 = SimulatedLLM(seed=3).complete(
+                LLMRequest(kind=kind, prompt="p", payload=payloads[kind])
+            )
+            assert r1.text == r2.text
+
+    def test_profiles_differ(self):
+        payloads = self.kinds_payloads(self.table())
+        stats_payload = payloads["label_batch"]
+        # Degrade the column so every value looks rare -> FP chances.
+        a = SimulatedLLM(profile=QWEN_72B, seed=0)
+        b = SimulatedLLM(profile=GPT_4O_MINI, seed=0)
+        la = a.complete(LLMRequest(kind="label_batch", prompt="p", payload=stats_payload))
+        lb = b.complete(LLMRequest(kind="label_batch", prompt="p", payload=stats_payload))
+        # GPT-4o-mini's high FP rate should flag at least as many.
+        assert sum(lb.payload) >= sum(la.payload)
+
+    def test_token_accounting(self):
+        llm = SimulatedLLM(seed=0)
+        llm.complete(
+            LLMRequest(kind="error_descriptions", prompt="words " * 50)
+        )
+        assert llm.ledger.summary()["input_tokens"] >= 50
+
+    def test_model_name(self):
+        assert SimulatedLLM().model_name == "qwen2.5-72b"
+
+    def test_unhandled_kind_raises(self):
+        llm = SimulatedLLM()
+        request = LLMRequest(kind="criteria", prompt="p", payload={})
+        request.kind = "weird"  # bypass validation deliberately
+        with pytest.raises(LLMError):
+            llm._complete(request)

@@ -1,0 +1,132 @@
+"""Tests for repro.data.stats."""
+
+import pytest
+
+from repro.data.stats import (
+    AttributeStats,
+    NumericSummary,
+    PairStats,
+    compute_all_stats,
+)
+from repro.data.table import Table
+
+
+def table():
+    return Table.from_rows(
+        ["code", "label", "num"],
+        [
+            ["A-1", "alpha", "10"],
+            ["A-1", "alpha", "11"],
+            ["A-1", "alpha", "12"],
+            ["B-2", "beta", "11"],
+            ["B-2", "beta", "13"],
+            ["B-2", "gamma", "9"],     # FD noise
+            ["", "alpha", "5000"],     # missing + outlier
+            ["C-3", "alpfa", "10"],    # typo of alpha
+        ],
+    )
+
+
+class TestAttributeStats:
+    def test_value_frequency(self):
+        st = AttributeStats.compute(table(), "code")
+        assert st.value_frequency("A-1") == pytest.approx(3 / 8)
+        assert st.value_frequency("missing-value") == 0.0
+
+    def test_missing_counted(self):
+        st = AttributeStats.compute(table(), "code")
+        assert st.missing_count == 1
+        assert st.missing_share() == pytest.approx(1 / 8)
+
+    def test_pattern_frequency(self):
+        st = AttributeStats.compute(table(), "code")
+        # All codes share the U[1]S[1]D[1] shape.
+        assert st.pattern_frequency("A-1", 3) == pytest.approx(7 / 8)
+
+    def test_numeric_summary(self):
+        st = AttributeStats.compute(table(), "num")
+        assert st.numeric.fraction == 1.0
+        assert st.numeric.is_outlier("5000")
+        assert not st.numeric.is_outlier("11")
+
+    def test_numeric_non_numeric_column(self):
+        st = AttributeStats.compute(table(), "label")
+        assert st.numeric.fraction == 0.0
+        assert not st.numeric.is_outlier("whatever")
+
+    def test_is_categorical(self):
+        assert AttributeStats.compute(table(), "label").is_categorical()
+        assert not AttributeStats.compute(table(), "num").is_categorical()
+
+    def test_top_values_excludes_empty(self):
+        st = AttributeStats.compute(table(), "code")
+        assert "" not in st.top_values()
+
+    def test_dominant_patterns_cover(self):
+        st = AttributeStats.compute(table(), "code")
+        assert len(st.dominant_patterns(0.5)) >= 1
+
+    def test_nearest_frequent_value_finds_typo_source(self):
+        st = AttributeStats.compute(table(), "label")
+        assert st.nearest_frequent_value("alpfa") == "alpha"
+
+    def test_nearest_frequent_skips_digit_variants(self):
+        t = Table.from_rows(
+            ["x"], [["85%"]] * 5 + [["86%"]] * 5 + [["87%"]]
+        )
+        st = AttributeStats.compute(t, "x")
+        assert st.nearest_frequent_value("87%") is None
+
+    def test_nearest_frequent_requires_frequency_gap(self):
+        t = Table.from_rows(["x"], [["aaa"]] * 3 + [["aab"]] * 3)
+        st = AttributeStats.compute(t, "x")
+        # Equal frequencies: neither dominates, no typo signal.
+        assert st.nearest_frequent_value("aab") is None
+
+    def test_pattern_diversity_free_text_high(self):
+        t = Table.from_rows(
+            ["x"],
+            [["Alpha One"], ["bx-22 Q"], ["ZZ/9"], ["m.n.o"], ["Q_17b"]],
+        )
+        assert AttributeStats.compute(t, "x").pattern_diversity() == 1.0
+
+    def test_empty_column_edge(self):
+        t = Table.from_rows(["x"], [])
+        st = AttributeStats.compute(t, "x")
+        assert st.n_rows == 0
+        assert st.value_frequency("a") == 0.0
+
+
+class TestNumericSummary:
+    def test_span_bound_catches_small_outliers(self):
+        # Uniform-ish column: a value scaled x0.001 must be an outlier
+        # even though the MAD is wide.
+        values = [str(v) for v in range(1000, 2000, 10)]
+        t = Table.from_rows(["x"], [[v] for v in values])
+        st = AttributeStats.compute(t, "x")
+        assert st.numeric.is_outlier("1.5")
+
+    def test_non_numeric_value_not_outlier(self):
+        assert not NumericSummary(fraction=1.0).is_outlier("abc")
+
+
+class TestPairStats:
+    def test_fd_strength_strong(self):
+        ps = PairStats.compute(table(), "code", "label")
+        assert ps.fd_strength > 0.8
+
+    def test_violates_against_majority(self):
+        t = Table.from_rows(
+            ["a", "b"],
+            [["x", "1"]] * 5 + [["x", "2"], ["y", "9"]],
+        )
+        ps = PairStats.compute(t, "a", "b")
+        assert ps.violates("x", "2")
+        assert not ps.violates("x", "1")
+        # Unknown lhs or tiny group: no judgement.
+        assert not ps.violates("zz", "1")
+        assert not ps.violates("y", "8")
+
+    def test_compute_all_stats(self):
+        stats = compute_all_stats(table())
+        assert set(stats) == {"code", "label", "num"}
