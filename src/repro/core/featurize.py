@@ -14,6 +14,14 @@ base vectors of its top-k NMI-correlated attributes' values in the same
 tuple.  Ablation switches on :class:`~repro.config.ZeroEDConfig`
 disable individual blocks (Table IV's w/o Crit. / w/o Corr., plus
 extension switches for the other blocks).
+
+Every block is a pure function of the cell value (plus a few context
+cells), so the whole-column fast path works at *unique-value* level on
+the table's interned codes (:mod:`repro.data.encoding`): frequency and
+pattern features are computed once per distinct value and scattered to
+rows with ``feats[codes]``, vicinity frequencies come from sparse
+joint counts over ``(codes_q, codes_attr)`` pairs, and embeddings and
+criteria likewise evaluate distinct values/combos only.
 """
 
 from __future__ import annotations
@@ -24,10 +32,11 @@ import numpy as np
 
 from repro.config import ZeroEDConfig
 from repro.criteria import Criterion
+from repro.data.encoding import joint_counts
 from repro.data.stats import AttributeStats
 from repro.data.table import Table
 from repro.text.embeddings import SubwordHashEmbedding
-from repro.text.patterns import generalize
+from repro.text.patterns import all_levels
 
 
 class AttributeFeaturizer:
@@ -55,39 +64,71 @@ class AttributeFeaturizer:
         self.criteria = list(criteria)
         self.config = config
         self._n_rows = table.n_rows
-        # Pattern frequency tables at the three generalisation levels.
-        self._pattern_counts: list[Counter] = []
-        for level in (1, 2, 3):
-            counter: Counter = Counter()
-            for value, count in stats.value_counts.items():
-                counter[generalize(value, level)] += count
-            self._pattern_counts.append(counter)
+        # Pattern frequency tables at the three generalisation levels,
+        # accumulated over distinct values in one pass.
+        counters: tuple[Counter, Counter, Counter] = (Counter(), Counter(), Counter())
+        for value, count in stats.value_counts.items():
+            for counter, pattern in zip(counters, all_levels(value)):
+                counter[pattern] += count
+        self._pattern_counts: list[Counter] = list(counters)
         # Vicinity co-occurrence: for each correlated attribute q,
-        # count(v_attr | v_q) and count(v_q).
-        self._vicinity: dict[str, tuple[Counter, Counter]] = {}
+        # count(v_attr | v_q) and count(v_q), derived from the sparse
+        # joint counts of the interned (codes_q, codes_attr) pairs.
+        # `_vicinity_joint` holds the code-level facts; the per-row
+        # ratio columns for the construction table are precomputed in
+        # `_vicinity_fast` (`counts[inverse] / counts_of_lhs`); the
+        # string-keyed lookup dicts that ad-hoc values and foreign
+        # tables need are built lazily in `_vicinity`.
+        self._enc_a = table.encoding(attr)
+        self._vicinity_joint: dict[str, tuple] = {}
+        self._vicinity_fast: dict[str, np.ndarray] = {}
+        self._vicinity_dicts: dict[str, tuple[dict, dict]] | None = None
         if config.use_statistical_features and config.use_correlated_features:
-            own_col = table.column_view(attr)
+            enc_a = self._enc_a
             for q in self.correlated:
-                pair_counts: Counter = Counter()
-                lhs_counts: Counter = Counter()
-                for vq, vj in zip(table.column_view(q), own_col):
-                    pair_counts[(vq, vj)] += 1
-                    lhs_counts[vq] += 1
-                self._vicinity[q] = (pair_counts, lhs_counts)
+                enc_q = table.encoding(q)
+                q_codes, a_codes, counts, inverse = joint_counts(enc_q, enc_a)
+                self._vicinity_joint[q] = (enc_q, q_codes, a_codes, counts)
+                denom = enc_q.counts[enc_q.codes].astype(float)
+                self._vicinity_fast[q] = counts[inverse] / denom
+
+    @property
+    def _vicinity(self) -> dict[str, tuple[dict, dict]]:
+        """String-keyed vicinity tables ``q -> (pair_counts, lhs_counts)``.
+
+        Built on first use from the code-level joint counts; only
+        ad-hoc featurisation (`base_vector`) and foreign tables need
+        these — whole-column calls on the construction table stay at
+        code level.
+        """
+        if self._vicinity_dicts is None:
+            enc_a = self._enc_a
+            out: dict[str, tuple[dict, dict]] = {}
+            for q, (enc_q, q_codes, a_codes, counts) in self._vicinity_joint.items():
+                pair_counts = {
+                    (enc_q.uniques[qc], enc_a.uniques[ac]): c
+                    for qc, ac, c in zip(
+                        q_codes.tolist(), a_codes.tolist(), counts.tolist()
+                    )
+                }
+                lhs_counts = dict(zip(enc_q.uniques, enc_q.counts.tolist()))
+                out[q] = (pair_counts, lhs_counts)
+            self._vicinity_dicts = out
+        return self._vicinity_dicts
 
     # ------------------------------------------------------------------
     @property
     def base_dim(self) -> int:
         dim = 0
         if self.config.use_statistical_features:
-            dim += 4 + len(self._vicinity)
+            dim += 4 + len(self._vicinity_joint)
         if self.config.use_semantic_features and self.embedding is not None:
             dim += self.embedding.dim
         if self.config.use_criteria_features:
             dim += len(self.criteria)
         # With every block disabled, base_matrix emits a single zero
         # column so downstream shapes stay valid; mirror that here.
-        return max(dim, 1) if dim == 0 else dim
+        return max(dim, 1)
 
     def set_criteria(self, criteria: list[Criterion]) -> None:
         """Swap in refined criteria (Algorithm 1's 'update criteria feat')."""
@@ -95,42 +136,83 @@ class AttributeFeaturizer:
 
     # ------------------------------------------------------------------
     def base_matrix(self, table: Table) -> np.ndarray:
-        """Base features for every row of ``table``'s ``attr`` column."""
+        """Base features for every row of ``table``'s ``attr`` column.
+
+        Works per *unique* value on the table's interned codes and
+        scatters back to rows — O(n_unique) Python work plus O(n_rows)
+        NumPy gathers.  The frequency/vicinity statistics always come
+        from the construction table; ``table``'s codes only say which
+        rows carry which value.
+        """
         n = table.n_rows
-        blocks: list[np.ndarray] = []
-        col = table.column_view(self.attr)
-        if self.config.use_statistical_features:
-            stat = np.empty((n, 4 + len(self._vicinity)))
-            freq_cache: dict[str, tuple[float, float, float, float]] = {}
-            for i, value in enumerate(col):
-                cached = freq_cache.get(value)
-                if cached is None:
-                    cached = self._frequency_features(value)
-                    freq_cache[value] = cached
-                stat[i, :4] = cached
-            for k, q in enumerate(self._vicinity):
-                pair_counts, lhs_counts = self._vicinity[q]
-                q_col = table.column_view(q)
-                for i in range(n):
-                    lhs = q_col[i]
-                    denom = lhs_counts.get(lhs, 0)
-                    stat[i, 4 + k] = (
-                        pair_counts.get((lhs, col[i]), 0) / denom if denom else 0.0
-                    )
-            blocks.append(stat)
-        if self.config.use_semantic_features and self.embedding is not None:
-            blocks.append(self.embedding.embed_many(list(col)))
-        if self.config.use_criteria_features:
-            if self.criteria:
-                crit = np.stack(
-                    [c.evaluate_column(table) for c in self.criteria], axis=1
-                ).astype(float)
-            else:
-                crit = np.zeros((n, 0))
-            blocks.append(crit)
-        if not blocks:
+        enc_a = table.encoding(self.attr)
+        config = self.config
+        use_semantic = config.use_semantic_features and self.embedding is not None
+        width = 0
+        any_block = False
+        if config.use_statistical_features:
+            width += 4 + len(self._vicinity_joint)
+            any_block = True
+        if use_semantic:
+            width += self.embedding.dim
+            any_block = True
+        if config.use_criteria_features:
+            width += len(self.criteria)
+            any_block = True
+        if not any_block:
             return np.zeros((n, 1))
-        return np.hstack(blocks)
+        # Fill one preallocated matrix instead of hstacking blocks —
+        # the block matrices are wide, and hstack would copy them all
+        # a second time.
+        out = np.empty((n, width))
+        col = 0
+        if config.use_statistical_features:
+            uniq_freqs = np.asarray(
+                [self._frequency_features(u) for u in enc_a.uniques]
+            ).reshape(enc_a.n_unique, 4)
+            out[:, :4] = uniq_freqs[enc_a.codes]
+            for k, q in enumerate(self._vicinity_joint):
+                same_encodings = (
+                    enc_a is self._enc_a
+                    and table.encoding(q) is self._vicinity_joint[q][0]
+                )
+                if same_encodings:
+                    out[:, 4 + k] = self._vicinity_fast[q]
+                else:
+                    out[:, 4 + k] = self._vicinity_column(table, q, enc_a)
+            col = 4 + len(self._vicinity_joint)
+        if use_semantic:
+            dim = self.embedding.dim
+            out[:, col : col + dim] = self.embedding.embed_uniques(
+                enc_a.uniques
+            )[enc_a.codes]
+            col += dim
+        if config.use_criteria_features:
+            for c in self.criteria:
+                out[:, col] = c.evaluate_column(table)
+                col += 1
+        return out
+
+    def _vicinity_column(self, table: Table, q: str, enc_a) -> np.ndarray:
+        """P(value | q's value) per row, via distinct (q, attr) pairs."""
+        pair_counts, lhs_counts = self._vicinity[q]
+        enc_q = table.encoding(q)
+        q_codes, a_codes, _, inverse = joint_counts(enc_q, enc_a)
+        numer = np.asarray(
+            [
+                pair_counts.get((enc_q.uniques[qc], enc_a.uniques[ac]), 0)
+                for qc, ac in zip(q_codes.tolist(), a_codes.tolist())
+            ],
+            dtype=float,
+        )
+        denom_u = np.asarray(
+            [lhs_counts.get(u, 0) for u in enc_q.uniques], dtype=float
+        )
+        denom = denom_u[enc_q.codes]
+        safe = denom > 0
+        out = np.zeros(table.n_rows)
+        np.divide(numer[inverse], denom, out=out, where=safe)
+        return out
 
     def base_vector(self, value: str, row: dict[str, str]) -> np.ndarray:
         """Base features for an ad-hoc value in a row context."""
@@ -161,12 +243,14 @@ class AttributeFeaturizer:
         self, value: str
     ) -> tuple[float, float, float, float]:
         n = max(self._n_rows, 1)
-        value_freq = self.stats.value_counts.get(value, 0) / n
-        pattern_freqs = tuple(
-            self._pattern_counts[level - 1].get(generalize(value, level), 0) / n
-            for level in (1, 2, 3)
+        p1, p2, p3 = all_levels(value)
+        c1, c2, c3 = self._pattern_counts
+        return (
+            self.stats.value_counts.get(value, 0) / n,
+            c1.get(p1, 0) / n,
+            c2.get(p2, 0) / n,
+            c3.get(p3, 0) / n,
         )
-        return (value_freq, *pattern_freqs)
 
 
 class FeatureSpace:
@@ -183,8 +267,12 @@ class FeatureSpace:
         self.table = table
         self.config = config
         self.correlated = correlated
+        # The embedding model is immutable for a given (dim, seed), so
+        # repeated pipeline runs share one instance and its warm caches.
         self.embedding = (
-            SubwordHashEmbedding(dim=config.embedding_dim, seed=config.seed)
+            SubwordHashEmbedding.shared(
+                dim=config.embedding_dim, seed=config.seed
+            )
             if config.use_semantic_features
             else None
         )

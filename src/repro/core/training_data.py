@@ -159,14 +159,15 @@ def verify_attribute(
     attributes' base features, and their dimensions must be final.
     """
     if config.propagate_labels:
-        col = table.column_view(attr)
-        context_cols = [
-            table.column_view(q) for q in correlated if q in table.attributes
+        # Evidence keys only need equality semantics, so interned codes
+        # stand in for the (value, context...) string tuples; zip over
+        # the code arrays stays at C speed.
+        code_cols = [table.encoding(attr).codes.tolist()] + [
+            table.encoding(q).codes.tolist()
+            for q in correlated
+            if q in table.attributes
         ]
-        evidence = [
-            (col[i],) + tuple(c[i] for c in context_cols)
-            for i in range(table.n_rows)
-        ]
+        evidence = list(zip(*code_cols))
         propagated = propagate_labels(sampling, llm_labels, evidence=evidence)
     else:
         propagated = dict(llm_labels)

@@ -92,16 +92,18 @@ class Criterion:
         """True once the criterion exceeded its runtime failure budget."""
         return self._failures > self.max_failures
 
-    def check(self, row: Mapping[str, str]) -> bool:
-        """Evaluate on one row; runtime errors count as 'not clean'."""
-        key = (row.get(self.attr, ""),) + tuple(
+    def _row_key(self, row: Mapping[str, str]) -> tuple:
+        return (row.get(self.attr, ""),) + tuple(
             row.get(a, "") for a in self.context_attrs
         )
+
+    def _check_consumable(self, row: dict, key: tuple) -> bool:
+        """Cached evaluation of a row dict the criterion may mutate."""
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         try:
-            result = bool(self._fn(dict(row), self.attr))
+            result = bool(self._fn(row, self.attr))
         except Exception:
             self._failures += 1
             result = False
@@ -109,20 +111,51 @@ class Criterion:
             self._cache[key] = result
         return result
 
+    def check(self, row: Mapping[str, str]) -> bool:
+        """Evaluate on one row; runtime errors count as 'not clean'."""
+        return self._check_consumable(dict(row), self._row_key(row))
+
     def evaluate_column(self, table: Table) -> np.ndarray:
-        """Boolean pass-vector for this criterion over every row."""
-        n = table.n_rows
-        out = np.empty(n, dtype=bool)
+        """Boolean pass-vector for this criterion over every row.
+
+        The criterion is a pure function of ``row[attr]`` and the
+        ``context_attrs`` cells, so it runs once per distinct
+        value-combination (found via the table's interned column codes)
+        and the verdicts are scattered back to rows with one gather.
+        """
         value_col = table.column_view(self.attr)
-        context_cols = [table.column_view(a) for a in self.context_attrs
-                        if a in table.attributes]
         context_names = [a for a in self.context_attrs if a in table.attributes]
-        for i in range(n):
+        context_cols = [table.column_view(a) for a in context_names]
+        encodings = [table.encoding(self.attr)] + [
+            table.encoding(a) for a in context_names
+        ]
+        # Fold the per-column codes into one int64 key when the combined
+        # cardinality fits (the common case: zero or one context attr);
+        # 1-D np.unique is much cheaper than an axis=0 lexsort.
+        capacity = 1
+        for enc in encodings:
+            capacity *= max(enc.n_unique, 1)
+        if capacity < 2**62:
+            key = encodings[0].codes
+            for enc in encodings[1:]:
+                key = key * np.int64(max(enc.n_unique, 1)) + enc.codes
+            _, first_rows, inverse = np.unique(
+                key, return_index=True, return_inverse=True
+            )
+        else:
+            stacked = np.stack([enc.codes for enc in encodings], axis=1)
+            _, first_rows, inverse = np.unique(
+                stacked, axis=0, return_index=True, return_inverse=True
+            )
+        # Each row dict built here is fresh and discarded, so it can go
+        # to the compiled function without `check`'s defensive copy.
+        verdicts = np.empty(len(first_rows), dtype=bool)
+        for j, i in enumerate(first_rows.tolist()):
             row = {self.attr: value_col[i]}
             for name, col in zip(context_names, context_cols):
                 row[name] = col[i]
-            out[i] = self.check(row)
-        return out
+            verdicts[j] = self._check_consumable(row, self._row_key(row))
+        return verdicts[inverse]
 
     def accuracy_on(self, rows: Sequence[Mapping[str, str]]) -> float:
         """Fraction of ``rows`` this criterion accepts (pass rate)."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.encoding import joint_counts
 from repro.data.errortypes import is_missing_placeholder
 from repro.data.table import Table
 from repro.text.distance import within_edit_distance
@@ -69,33 +70,36 @@ class AttributeStats:
     # ------------------------------------------------------------------
     @classmethod
     def compute(cls, table: Table, attr: str) -> "AttributeStats":
-        col = table.column_view(attr)
-        stats = cls(attr=attr, n_rows=len(col))
-        stats.value_counts = Counter(col)
+        # All facts below are functions of the distinct values and
+        # their multiplicities, so they are derived from the table's
+        # interned column codes instead of re-scanning the row strings.
+        enc = table.encoding(attr)
+        stats = cls(attr=attr, n_rows=enc.n_rows)
+        stats.value_counts = Counter(
+            dict(zip(enc.uniques, enc.counts.tolist()))
+        )
         lengths = []
-        numbers = []
-        pattern_cache: dict[str, tuple[str, str]] = {}
-        for value, count in stats.value_counts.items():
-            cached = pattern_cache.get(value)
-            if cached is None:
-                cached = (generalize(value, 3), generalize(value, 2))
-                pattern_cache[value] = cached
-            p3, p2 = cached
+        numeric_values: list[float] = []
+        numeric_counts: list[int] = []
+        for value, count in zip(enc.uniques, enc.counts.tolist()):
+            p3, p2 = generalize(value, 3), generalize(value, 2)
             stats.pattern_counts[p3] += count
             stats.pattern2_counts[p2] += count
             if is_missing_placeholder(value):
                 stats.missing_count += count
-            lengths.extend([len(value)] * min(count, 1))
+            lengths.append(len(value))
             try:
-                numbers.extend([float(value)] * count)
+                numeric_values.append(float(value))
+                numeric_counts.append(count)
             except ValueError:
                 pass
         stats.mean_length = float(np.mean(lengths)) if lengths else 0.0
-        n_numeric = len(numbers)
-        if n_numeric:
-            arr = np.array(numbers, dtype=float)
+        if numeric_values:
+            arr = np.repeat(
+                np.array(numeric_values, dtype=float), numeric_counts
+            )
             stats.numeric = NumericSummary(
-                fraction=n_numeric / max(stats.n_rows, 1),
+                fraction=len(arr) / max(stats.n_rows, 1),
                 median=float(np.median(arr)),
                 mad=float(np.median(np.abs(arr - np.median(arr)))),
                 q01=float(np.quantile(arr, 0.01)),
@@ -214,18 +218,32 @@ class PairStats:
 
     @classmethod
     def compute(cls, table: Table, lhs: str, rhs: str) -> "PairStats":
-        lhs_col = table.column_view(lhs)
-        rhs_col = table.column_view(rhs)
-        groups: dict[str, Counter] = {}
-        for lv, rv in zip(lhs_col, rhs_col):
-            groups.setdefault(lv, Counter())[rv] += 1
+        # Group sizes and per-(lhs, rhs) multiplicities come from the
+        # interned codes; only the distinct pairs are visited in Python.
+        enc_l = table.encoding(lhs)
+        enc_r = table.encoding(rhs)
+        l_codes, r_codes, pair_counts, _, first_rows = joint_counts(
+            enc_l, enc_r, return_index=True
+        )
+        group_sizes = np.bincount(enc_l.codes, minlength=enc_l.n_unique)
+        # Majority = highest count, ties broken by first appearance of
+        # the (lhs, rhs) pair in the column (Counter.most_common order).
+        best: dict[int, tuple[int, str]] = {}
+        order = np.argsort(first_rows, kind="stable")
+        for k in order.tolist():
+            count = int(pair_counts[k])
+            held = best.get(int(l_codes[k]))
+            if held is None or count > held[0]:
+                best[int(l_codes[k])] = (count, enc_r.uniques[int(r_codes[k])])
         majority: dict[str, tuple[str, int, float]] = {}
         shares = []
-        for lv, counts in groups.items():
-            value, top = counts.most_common(1)[0]
-            size = sum(counts.values())
+        # lhs codes follow first-appearance order, matching the
+        # row-scan grouping the reference implementation produced.
+        for lc in range(enc_l.n_unique):
+            top, value = best[lc]
+            size = int(group_sizes[lc])
             share = top / size
-            majority[lv] = (value, size, share)
+            majority[enc_l.uniques[lc]] = (value, size, share)
             if size > 1:
                 shares.append(share)
         return cls(

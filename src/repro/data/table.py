@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+from repro.data.encoding import ColumnEncoding
 from repro.errors import DataError, SchemaError
 
 
@@ -56,8 +57,10 @@ class Table:
                 )
             data[attr] = col
         self._attrs = attrs
+        self._attr_index = {a: i for i, a in enumerate(attrs)}
         self._data = data
         self._n_rows = n_rows or 0
+        self._encodings: dict[str, ColumnEncoding] = {}
         self.name = name
 
     # ------------------------------------------------------------------
@@ -142,10 +145,26 @@ class Table:
         self._check_row(i)
         self._check_attr(attr)
         self._data[attr][i] = _coerce_cell(value)
+        self._encodings.pop(attr, None)
 
     def attr_index(self, attr: str) -> int:
         self._check_attr(attr)
-        return self._attrs.index(attr)
+        return self._attr_index[attr]
+
+    def encoding(self, attr: str) -> ColumnEncoding:
+        """Cached integer factorization of ``attr``'s column.
+
+        Computed lazily on first use and invalidated by
+        :meth:`set_cell` (the only content mutator), so repeated
+        consumers — stats, features, criteria, sampling — share one
+        factorization pass per column.
+        """
+        self._check_attr(attr)
+        enc = self._encodings.get(attr)
+        if enc is None:
+            enc = ColumnEncoding.from_values(self._data[attr])
+            self._encodings[attr] = enc
+        return enc
 
     def iter_rows(self) -> Iterator[dict[str, str]]:
         for i in range(self._n_rows):
@@ -185,12 +204,12 @@ class Table:
         """
         if other.attributes != self._attrs or other.n_rows != self._n_rows:
             raise SchemaError("tables must share schema and row count to diff")
-        mask = []
-        for i in range(self._n_rows):
-            mask.append(
-                [self._data[a][i] != other._data[a][i] for a in self._attrs]
-            )
-        return mask
+        per_attr = [
+            [mine != theirs
+             for mine, theirs in zip(self._data[a], other._data[a])]
+            for a in self._attrs
+        ]
+        return [list(row) for row in zip(*per_attr)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):

@@ -51,21 +51,39 @@ class KMeans:
         x = np.asarray(x, dtype=float)
         if x.ndim != 2 or x.shape[0] == 0:
             raise ValueError("expected a non-empty 2-D matrix")
-        k = min(self.n_clusters, _count_distinct_rows(x))
+        k = min(self.n_clusters, _count_distinct_rows(x, self.n_clusters))
         centers = self._init_plus_plus(x, k)
         labels = np.zeros(x.shape[0], dtype=int)
+        x_sq = np.einsum("ij,ij->i", x, x)  # reused across iterations
         for iteration in range(self.max_iter):
             labels = _nearest_center(x, centers)
             new_centers = centers.copy()
+            empty: list[int] = []
             for c in range(k):
                 members = x[labels == c]
                 if len(members):
                     new_centers[c] = members.mean(axis=0)
                 else:
-                    # Re-seed an empty cluster at the point farthest from
-                    # its assigned centre, the standard repair.
-                    dists = np.linalg.norm(x - centers[labels], axis=1)
-                    new_centers[c] = x[int(np.argmax(dists))]
+                    empty.append(c)
+            if empty:
+                # Re-seed each empty cluster at the point farthest from
+                # its assigned centre (the standard repair), excluding
+                # points already chosen so two simultaneously-empty
+                # clusters never collapse onto the same centre.  All
+                # rows equal to the chosen point are masked, not just
+                # the chosen row — feature rows are heavily duplicated
+                # (identical value/context pairs gather identical
+                # vectors), and a duplicate would re-collapse the pair.
+                c_sq = np.einsum("ij,ij->i", centers, centers)
+                dists = (
+                    x_sq
+                    - 2.0 * np.einsum("ij,ij->i", x, centers[labels])
+                    + c_sq[labels]
+                )
+                for c in empty:
+                    farthest = x[int(np.argmax(dists))]
+                    new_centers[c] = farthest
+                    dists[(x == farthest).all(axis=1)] = -np.inf
             shift = float(np.linalg.norm(new_centers - centers))
             centers = new_centers
             self.n_iter_ = iteration + 1
@@ -118,5 +136,24 @@ def _nearest_center(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
 
 
-def _count_distinct_rows(x: np.ndarray) -> int:
-    return np.unique(x, axis=0).shape[0]
+def _count_distinct_rows(x: np.ndarray, limit: int | None = None) -> int:
+    """Distinct rows of ``x``, short-circuited at ``limit``.
+
+    Only ``min(n_clusters, distinct)`` matters to the caller, so the
+    scan hashes row bytes chunk-by-chunk and stops as soon as ``limit``
+    distinct rows have been seen — on large matrices with many distinct
+    rows this replaces a full lexicographic sort with a few chunks.
+    """
+    if x.shape[1] == 0:
+        return min(1, x.shape[0])
+    # +0.0 canonicalises -0.0 so the byte-wise comparison agrees with
+    # value equality (np.unique semantics) on signed zeros.
+    view = np.ascontiguousarray(x + 0.0).view(
+        np.dtype((np.void, x.dtype.itemsize * x.shape[1]))
+    ).ravel()
+    seen: set = set()
+    for start in range(0, view.shape[0], 4096):
+        seen.update(view[start : start + 4096].tolist())
+        if limit is not None and len(seen) >= limit:
+            return limit
+    return len(seen)

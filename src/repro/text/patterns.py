@@ -17,6 +17,8 @@ is a strong signal for pattern-violation errors.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 
 def _classify_l1(ch: str) -> str:
     return "A" if ch.isalnum() else ch
@@ -66,8 +68,14 @@ def _emit(cls: str, length: int, literal_symbols: bool) -> str:
     return f"{cls}[{length}]"
 
 
+@lru_cache(maxsize=131_072)
 def generalize(value: str, level: int) -> str:
-    """Generalise ``value`` at pattern level 1, 2 or 3."""
+    """Generalise ``value`` at pattern level 1, 2 or 3.
+
+    Memoized: the same distinct values are generalised by stats,
+    features and the simulated LLM, and columns repeat values heavily,
+    so the cache turns repeat calls into dict hits.
+    """
     if level == 1:
         classes = [_classify_l1(ch) for ch in value]
         return _run_length_encode(classes, literal_symbols=True)
@@ -80,6 +88,7 @@ def generalize(value: str, level: int) -> str:
     return _run_length_encode(classes, literal_symbols=False)
 
 
+@lru_cache(maxsize=131_072)
 def all_levels(value: str) -> tuple[str, str, str]:
-    """Return (L1, L2, L3) generalisations of ``value``."""
+    """Return (L1, L2, L3) generalisations of ``value`` (memoized)."""
     return generalize(value, 1), generalize(value, 2), generalize(value, 3)
