@@ -125,6 +125,7 @@ class ZeroED:
                     n_clusters=n_clusters,
                     method=config.clustering,
                     seed=spawn(config.seed, f"sample/{attr}"),
+                    engine=config.sampling_engine,
                 )
                 for attr in table.attributes
             }

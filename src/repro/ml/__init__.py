@@ -1,8 +1,15 @@
 """Machine-learning substrate: clustering, MLP, metrics, NMI, scaling."""
 
 from repro.ml.agglomerative import AgglomerativeClustering
+from repro.ml.distance import (
+    assigned_sq_dists,
+    collapse_duplicate_rows,
+    nearest_centers,
+    row_norms_sq,
+)
 from repro.ml.kmeans import KMeans
 from repro.ml.metrics import PRF, precision_recall_f1, score_masks
+from repro.ml.minibatch import MiniBatchKMeans
 from repro.ml.mlp import MLPClassifier
 from repro.ml.nmi import (
     entropy,
@@ -17,12 +24,17 @@ __all__ = [
     "AgglomerativeClustering",
     "KMeans",
     "MLPClassifier",
+    "MiniBatchKMeans",
     "StandardScaler",
     "as_generator",
+    "assigned_sq_dists",
+    "collapse_duplicate_rows",
     "entropy",
     "mutual_information",
+    "nearest_centers",
     "normalized_mutual_information",
     "precision_recall_f1",
+    "row_norms_sq",
     "score_masks",
     "spawn",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 from scipy.cluster.hierarchy import fcluster, linkage
 
 from repro.errors import NotFittedError
+from repro.ml.distance import nearest_centers
 from repro.ml.rng import RngLike, as_generator
 
 
@@ -82,6 +83,5 @@ def _centers_from_labels(x: np.ndarray, labels: np.ndarray) -> np.ndarray:
 
 
 def _nearest(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    cross = x @ centers.T
-    c_sq = np.einsum("ij,ij->i", centers, centers)
-    return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
+    # Shared exact kernel; same expansion this function used to inline.
+    return nearest_centers(x, centers)

@@ -12,6 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.ml.distance import (
+    assigned_sq_dists,
+    nearest_centers,
+    row_norms_sq,
+)
 from repro.ml.rng import RngLike, as_generator
 
 
@@ -44,6 +49,7 @@ class KMeans:
         self._rng = as_generator(seed)
         self.cluster_centers_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
         self.n_iter_: int = 0
 
     # ------------------------------------------------------------------
@@ -54,7 +60,7 @@ class KMeans:
         k = min(self.n_clusters, _count_distinct_rows(x, self.n_clusters))
         centers = self._init_plus_plus(x, k)
         labels = np.zeros(x.shape[0], dtype=int)
-        x_sq = np.einsum("ij,ij->i", x, x)  # reused across iterations
+        x_sq = row_norms_sq(x)  # reused across iterations
         for iteration in range(self.max_iter):
             labels = _nearest_center(x, centers)
             new_centers = centers.copy()
@@ -74,12 +80,7 @@ class KMeans:
                 # the chosen row — feature rows are heavily duplicated
                 # (identical value/context pairs gather identical
                 # vectors), and a duplicate would re-collapse the pair.
-                c_sq = np.einsum("ij,ij->i", centers, centers)
-                dists = (
-                    x_sq
-                    - 2.0 * np.einsum("ij,ij->i", x, centers[labels])
-                    + c_sq[labels]
-                )
+                dists = assigned_sq_dists(x, centers, labels, x_sq=x_sq)
                 for c in empty:
                     farthest = x[int(np.argmax(dists))]
                     new_centers[c] = farthest
@@ -91,6 +92,11 @@ class KMeans:
                 break
         self.cluster_centers_ = centers
         self.labels_ = _nearest_center(x, centers)
+        self.inertia_ = float(
+            np.maximum(
+                assigned_sq_dists(x, centers, self.labels_, x_sq=x_sq), 0.0
+            ).sum()
+        )
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -129,11 +135,9 @@ def _sq_dist_to(x: np.ndarray, center: np.ndarray) -> np.ndarray:
 
 
 def _nearest_center(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
-    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; the x term is constant
-    # per-row so it can be dropped for argmin.
-    cross = x @ centers.T
-    c_sq = np.einsum("ij,ij->i", centers, centers)
-    return np.argmin(c_sq[None, :] - 2.0 * cross, axis=1)
+    # The shared kernel's exact (unblocked float64) path evaluates the
+    # same ||c||^2 - 2 x.c expansion this function used to inline.
+    return nearest_centers(x, centers)
 
 
 def _count_distinct_rows(x: np.ndarray, limit: int | None = None) -> int:
