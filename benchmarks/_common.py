@@ -10,6 +10,9 @@ ordering), matching DESIGN.md §3.
 from __future__ import annotations
 
 import os
+import time
+
+import numpy as np
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
 
@@ -48,3 +51,24 @@ SEED = 0
 
 def rows_for(dataset: str) -> int | None:
     return BENCH_ROWS.get(dataset)
+
+
+def calibrate_gemm_s() -> float:
+    """Seconds for a fixed float64 GEMM workload on this machine.
+
+    Shaped like the pipeline's hot loops (tall-skinny times wide); the
+    fastest of several repeats factors out one-off page faults.  The
+    smoke benchmarks divide their measured wall time by this figure so
+    their CI regression gates compare *calibration-units* — slower CI
+    hardware rescales both sides instead of tripping the gate.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 1, (2_000, 128))
+    b = rng.normal(0, 1, (128, 500))
+    best = np.inf
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(10):
+            a @ b
+        best = min(best, time.perf_counter() - t0)
+    return best

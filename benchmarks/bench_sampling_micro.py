@@ -35,6 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
+from _common import calibrate_gemm_s
+
 from repro.config import ZeroEDConfig
 from repro.core.correlation import correlated_attributes
 from repro.core.criteria_step import generate_initial_criteria
@@ -57,24 +59,6 @@ EXACT_BASELINE_1K_UNITS = 12.5
 
 SIZES = (1_000, 5_000, 10_000)
 SMOKE_REGRESSION_FACTOR = 2.0
-
-
-def calibrate_gemm_s() -> float:
-    """Seconds for a fixed float64 GEMM workload on this machine.
-
-    Shaped like the sampling hot loop (tall-skinny times wide); the
-    fastest of several repeats factors out one-off page faults.
-    """
-    rng = np.random.default_rng(0)
-    a = rng.normal(0, 1, (2_000, 128))
-    b = rng.normal(0, 1, (128, 500))
-    best = np.inf
-    for _ in range(5):
-        t0 = time.perf_counter()
-        for _ in range(10):
-            a @ b
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def label_inertia(x: np.ndarray, labels: np.ndarray) -> float:

@@ -1,0 +1,112 @@
+"""End-to-end per-stage pipeline profile (ROADMAP open item).
+
+Runs the full ZeroED pipeline on a generator dataset (default: the
+10k-row Tax slice with the fast sampling engine) and reports every
+stage's wall-clock seconds and LLM token consumption — the timing
+table that picks the next optimisation target.  Results are printed
+and written to ``BENCH_profile.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_pipeline.py
+    PYTHONPATH=src python benchmarks/profile_pipeline.py \
+        --dataset tax --rows 10000 --sampling-engine fast \
+        --detector-engine exact
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.config import DETECTOR_ENGINES, SAMPLING_ENGINES, ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import make_dataset
+from repro.ml.metrics import score_masks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="tax")
+    parser.add_argument("--rows", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sampling-engine", default="fast", choices=SAMPLING_ENGINES
+    )
+    parser.add_argument(
+        "--detector-engine", default="exact", choices=DETECTOR_ENGINES
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_profile.json",
+    )
+    args = parser.parse_args()
+
+    config = ZeroEDConfig(
+        seed=args.seed,
+        sampling_engine=args.sampling_engine,
+        detector_engine=args.detector_engine,
+    )
+    data = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    t0 = time.perf_counter()
+    result = ZeroED(config).detect(data.dirty)
+    total_s = time.perf_counter() - t0
+    prf = score_masks(result.mask, data.mask)
+
+    header = f"{'stage':<16}{'seconds':>10}{'in_tokens':>12}{'out_tokens':>12}"
+    print(
+        f"{args.dataset}/{args.rows} rows, sampling={args.sampling_engine}, "
+        f"detector={args.detector_engine}"
+    )
+    print(header)
+    print("-" * len(header))
+    stages = []
+    for stage in result.stages:
+        print(
+            f"{stage.name:<16}{stage.seconds:>10.3f}"
+            f"{stage.input_tokens:>12}{stage.output_tokens:>12}"
+        )
+        stages.append(
+            {
+                "name": stage.name,
+                "seconds": round(stage.seconds, 4),
+                "input_tokens": stage.input_tokens,
+                "output_tokens": stage.output_tokens,
+            }
+        )
+    print("-" * len(header))
+    print(
+        f"{'total':<16}{total_s:>10.3f}"
+        f"{result.input_tokens:>12}{result.output_tokens:>12}"
+    )
+    print(
+        f"P/R/F1 = {prf.precision:.4f}/{prf.recall:.4f}/{prf.f1:.4f}, "
+        f"{result.n_llm_requests} LLM requests"
+    )
+
+    payload = {
+        "dataset": args.dataset,
+        "rows": args.rows,
+        "seed": args.seed,
+        "sampling_engine": args.sampling_engine,
+        "detector_engine": args.detector_engine,
+        "total_s": round(total_s, 4),
+        "precision": round(prf.precision, 4),
+        "recall": round(prf.recall, 4),
+        "f1": round(prf.f1, 4),
+        "llm_requests": result.n_llm_requests,
+        "input_tokens": result.input_tokens,
+        "output_tokens": result.output_tokens,
+        "stages": stages,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ import argparse
 import sys
 
 from repro.bench import METHODS, format_table, run_method
-from repro.config import SAMPLING_ENGINES, ZeroEDConfig
+from repro.config import DETECTOR_ENGINES, SAMPLING_ENGINES, ZeroEDConfig
 from repro.core.pipeline import ZeroED
 from repro.core.repair import RepairSuggester
 from repro.data.csvio import read_csv
@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference masks) or 'fast' (mini-batch k-means, "
                         ">=5x faster on 10k+ rows, masks may shift within "
                         "the recorded tolerance band)")
+    p.add_argument("--detector-engine", default="exact",
+                   choices=DETECTOR_ENGINES,
+                   help="Step-4 MLP engine: 'exact' (float64, reproducible "
+                        "reference masks) or 'fast' (float32 train/predict "
+                        "over unique feature rows, masks may shift within "
+                        "the recorded tolerance band)")
     p.add_argument("--mask-out", default=None,
                    help="write the predicted mask JSON here")
     _add_common(p)
@@ -69,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Step-2 clustering engine: 'exact' (reproducible "
                         "reference masks) or 'fast' (mini-batch k-means, "
                         ">=5x faster on 10k+ rows)")
+    p.add_argument("--detector-engine", default="exact",
+                   choices=DETECTOR_ENGINES,
+                   help="Step-4 MLP engine: 'exact' (float64 reference "
+                        "masks) or 'fast' (float32 over unique rows)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--mask-out", default=None)
 
@@ -105,6 +115,7 @@ def cmd_detect(args) -> int:
     config = ZeroEDConfig(
         seed=args.seed, llm_model=args.llm, label_rate=args.label_rate,
         sampling_engine=args.sampling_engine,
+        detector_engine=args.detector_engine,
     )
     run = run_method(
         args.method, args.dataset, n_rows=args.rows, seed=args.seed,
@@ -123,6 +134,7 @@ def cmd_detect_csv(args) -> int:
     config = ZeroEDConfig(
         seed=args.seed, label_rate=args.label_rate,
         sampling_engine=args.sampling_engine,
+        detector_engine=args.detector_engine,
     )
     result = ZeroED(config).detect(table)
     n = result.mask.error_count()

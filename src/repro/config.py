@@ -17,6 +17,10 @@ from repro.errors import ConfigError
 #: CLI choices, and the sampling layer's dispatch.
 SAMPLING_ENGINES = ("exact", "fast")
 
+#: Step-4 MLP engines (config validation, CLI choices, detector
+#: dispatch), mirroring the sampling-engine pattern.
+DETECTOR_ENGINES = ("exact", "fast")
+
 
 @dataclass
 class ZeroEDConfig:
@@ -106,6 +110,16 @@ class ZeroEDConfig:
     mlp_lr: float = 3e-3
     decision_threshold: float = 0.5
 
+    detector_engine: str = "exact"
+    """Step-4 MLP engine.  'exact' (default) trains and predicts in
+    float64 with the historical operation order — masks stay
+    byte-identical run-over-run and release-over-release; 'fast' runs
+    the same loop in float32 over multiplicity-weighted unique training
+    rows (capped at a seeded subsample) and predicts once per unique
+    feature row — deterministic under the seed, but probabilities
+    (hence masks) may shift within the tolerance band recorded in
+    tests/test_step34_engine.py."""
+
     # --- LLM ---
     llm_model: str = "qwen2.5-72b"
     """Profile name for the simulated backend (Table V)."""
@@ -132,6 +146,11 @@ class ZeroEDConfig:
             raise ConfigError(
                 f"sampling_engine must be one of {SAMPLING_ENGINES}, "
                 f"got {self.sampling_engine!r}"
+            )
+        if self.detector_engine not in DETECTOR_ENGINES:
+            raise ConfigError(
+                f"detector_engine must be one of {DETECTOR_ENGINES}, "
+                f"got {self.detector_engine!r}"
             )
         for name in ("criteria_accuracy_threshold", "data_pass_threshold"):
             value = getattr(self, name)

@@ -5,6 +5,20 @@ data and applied to every cell of that attribute.  Attributes whose
 training data is degenerate (empty, or single-class) fall back to a
 constant prediction of that class — the honest behaviour when the LLM
 labeled everything identically.
+
+The MLP execution engine follows ``config.detector_engine``:
+
+* ``exact`` (default) — float64, bitwise identical to the historical
+  implementation (one full-matrix forward pass per attribute, now
+  through workspace buffers shared across attributes);
+* ``fast`` (opt-in) — float32 train/predict over *unique* rows (the
+  PR 1/2 interning idea): training collapses duplicate
+  (features, label) rows to multiplicity-weighted uniques — the same
+  weighted cross-entropy objective on a fraction of the rows — caps
+  them at a seeded class-preserving subsample
+  (``FAST_MAX_TRAIN_ROWS``, the MiniBatchKMeans subsample idea), and
+  prediction computes one probability per unique feature row and
+  scatters it back through the codes.
 """
 
 from __future__ import annotations
@@ -16,12 +30,21 @@ import numpy as np
 from repro.config import ZeroEDConfig
 from repro.core.featurize import FeatureSpace
 from repro.core.training_data import AttributeTrainingData
+from repro.data.encoding import fold_codes
 from repro.data.mask import ErrorMask
 from repro.data.table import Table
 from repro.errors import NotFittedError
-from repro.ml.mlp import MLPClassifier
+from repro.ml.distance import collapse_duplicate_rows
+from repro.ml.mlp import MLPClassifier, Workspace
 from repro.ml.rng import spawn
 from repro.ml.scaler import StandardScaler
+
+#: Fast-engine training-set cap: unique training rows beyond this are
+#: subsampled (seeded, class-preserving, multiplicities kept as
+#: weights) before the MLP sees them — the MiniBatchKMeans seeded
+#: subsample idea (PR 2) applied to the detector.  The exact engine
+#: always trains on every row.
+FAST_MAX_TRAIN_ROWS = 8_192
 
 
 @dataclass
@@ -29,6 +52,59 @@ class _AttributeModel:
     scaler: StandardScaler | None
     mlp: MLPClassifier | None
     constant: bool | None  # fallback constant prediction
+
+
+def _unified_key_columns(
+    feature_space: FeatureSpace, table: Table, attr: str
+) -> list[str]:
+    """Columns that determine ``attr``'s unified feature row.
+
+    Every feature block is a pure function of the cell value plus a
+    few context cells: the owner column itself, its vicinity partners,
+    and its criteria's context attributes — for the attribute's own
+    block and (when correlated features are on) each concatenated
+    correlated block.  Rows agreeing on all these columns are
+    guaranteed byte-identical unified rows (extra columns only split
+    groups, never merge them, so over-approximating stays exact).
+    """
+    owners = [attr]
+    if feature_space.config.use_correlated_features:
+        owners += feature_space.correlated.get(attr, [])
+    valid = set(table.attributes)
+    out: list[str] = []
+    seen: set[str] = set()
+    for owner in owners:
+        featurizer = feature_space.featurizers[owner]
+        deps = [owner] + list(featurizer.correlated) + [
+            a for crit in featurizer.criteria for a in crit.context_attrs
+        ]
+        for a in deps:
+            if a not in seen and a in valid:
+                seen.add(a)
+                out.append(a)
+    return out
+
+
+def _subsample_rows(stacked, weights, cap, rng):
+    """Seeded uniform subsample of ``cap`` rows, both classes kept.
+
+    ``stacked`` carries the label in its last column; if the uniform
+    draw would lose a class entirely (possible only when that class
+    has a handful of unique rows), every row of the missing class is
+    swapped in over the tail of the sample.
+    """
+    keep = np.sort(rng.choice(len(stacked), size=cap, replace=False))
+    labels = stacked[:, -1]
+    kept_labels = set(np.unique(labels[keep]).tolist())
+    missing = [
+        c for c in np.unique(labels).tolist() if c not in kept_labels
+    ]
+    if missing:
+        rescue = np.nonzero(np.isin(labels, missing))[0][:cap // 2]
+        keep = np.sort(
+            np.concatenate([keep[: cap - len(rescue)], rescue])
+        )
+    return stacked[keep], weights[keep]
 
 
 class ErrorDetector:
@@ -58,22 +134,52 @@ class ErrorDetector:
             return _AttributeModel(
                 scaler=None, mlp=None, constant=bool(classes.pop())
             )
-        scaler = StandardScaler()
-        x = scaler.fit_transform(data.features)
+        fast = self.config.detector_engine == "fast"
         mlp = MLPClassifier(
             hidden=self.config.mlp_hidden,
             epochs=self.config.mlp_epochs,
             lr=self.config.mlp_lr,
             seed=spawn(self.config.seed, f"mlp/{attr}"),
+            engine=self.config.detector_engine,
         )
-        mlp.fit(x, y)
+        scaler = StandardScaler()
+        if fast:
+            # Interned training: collapse duplicate (features, label)
+            # rows to uniques with multiplicity weights — the weighted
+            # BCE objective matches the expanded set exactly, on a
+            # fraction of the rows per epoch.  Scaling statistics still
+            # come from the full (expanded) matrix.
+            scaler.fit(data.features)
+            stacked = np.column_stack([data.features, y])
+            uniques, _, counts = collapse_duplicate_rows(stacked)
+            weights = counts.astype(float)
+            if len(uniques) > FAST_MAX_TRAIN_ROWS:
+                uniques, weights = _subsample_rows(
+                    uniques, weights, FAST_MAX_TRAIN_ROWS,
+                    spawn(self.config.seed, f"mlp-subsample/{attr}"),
+                )
+            mlp.fit(
+                scaler.transform(uniques[:, :-1]),
+                uniques[:, -1],
+                sample_weight=weights,
+            )
+        else:
+            mlp.fit(scaler.fit_transform(data.features), y)
         return _AttributeModel(scaler=scaler, mlp=mlp, constant=None)
 
     def predict(self, table: Table, feature_space: FeatureSpace) -> ErrorMask:
-        """Classify every cell of ``table`` as clean (False) or dirty."""
+        """Classify every cell of ``table`` as clean (False) or dirty.
+
+        One workspace serves every attribute's forward pass: all
+        attributes share the table's row count and the configured
+        hidden width, so the activation tiles are allocated once and
+        reused across the whole prediction sweep.
+        """
         if not self._models:
             raise NotFittedError("ErrorDetector.predict called before fit")
         mask = ErrorMask.zeros(table.attributes, table.n_rows)
+        workspace = Workspace()
+        fast = self.config.detector_engine == "fast"
         for attr in table.attributes:
             model = self._models.get(attr)
             if model is None:
@@ -82,8 +188,32 @@ class ErrorDetector:
                 if model.constant:
                     mask.matrix[:, table.attr_index(attr)] = True
                 continue
-            x = model.scaler.transform(feature_space.unified_matrix(attr))
-            proba = model.mlp.predict_proba(x)
+            unified = feature_space.unified_matrix(attr)
+            if fast:
+                # Equal feature rows get equal probabilities: predict
+                # once per unique row, scatter back.  A unified row is
+                # a pure function of its interned column codes, so the
+                # dedup key is one folded int64 array (O(n)) rather
+                # than a lexsort of the float matrix.
+                key = fold_codes(
+                    [
+                        table.encoding(a)
+                        for a in _unified_key_columns(
+                            feature_space, table, attr
+                        )
+                    ]
+                )
+                _, first_rows, inverse = np.unique(
+                    key, return_index=True, return_inverse=True
+                )
+                proba = model.mlp.predict_proba(
+                    model.scaler.transform(unified[first_rows]),
+                    workspace=workspace,
+                )[inverse]
+            else:
+                proba = model.mlp.predict_proba(
+                    model.scaler.transform(unified), workspace=workspace
+                )
             mask.matrix[:, table.attr_index(attr)] = (
                 proba >= self.config.decision_threshold
             )

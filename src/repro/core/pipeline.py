@@ -23,7 +23,7 @@ from repro.core.labeling import label_representatives
 from repro.core.result import DetectionResult, StageInfo
 from repro.core.sampling import SamplingResult, sample_representatives
 from repro.core.training_data import assemble_training_data, verify_attribute
-from repro.data.stats import PairStats, compute_all_stats
+from repro.data.stats import compute_all_stats
 from repro.data.table import Table
 from repro.llm.client import LLMClient
 from repro.llm.profiles import get_profile
@@ -150,8 +150,7 @@ class ZeroED:
             out = {}
             for attr in table.attributes:
                 pair_stats = {
-                    q: PairStats.compute(table, q, attr)
-                    for q in correlated[attr]
+                    q: table.pair_stats(q, attr) for q in correlated[attr]
                 }
                 out[attr] = label_representatives(
                     llm=self.llm,

@@ -61,7 +61,6 @@ class RepairSuggester:
             for attr in table.attributes
         }
         self._partners = self._pick_partners(max_partners)
-        self._pair_stats: dict[tuple[str, str], PairStats] = {}
 
     # ------------------------------------------------------------------
     def _pick_partners(self, k: int) -> dict[str, list[str]]:
@@ -81,10 +80,9 @@ class RepairSuggester:
         return out
 
     def _pairs(self, lhs: str, rhs: str) -> PairStats:
-        key = (lhs, rhs)
-        if key not in self._pair_stats:
-            self._pair_stats[key] = PairStats.compute(self.table, lhs, rhs)
-        return self._pair_stats[key]
+        # Memoized on the table itself (shared with labeling/profiling,
+        # invalidated by set_cell) rather than on this suggester.
+        return self.table.pair_stats(lhs, rhs)
 
     # ------------------------------------------------------------------
     def suggest_cell(self, row: int, attr: str) -> RepairSuggestion | None:

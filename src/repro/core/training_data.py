@@ -20,6 +20,7 @@ from repro.config import ZeroEDConfig
 from repro.criteria import Criterion, compile_criteria
 from repro.core.featurize import FeatureSpace
 from repro.core.sampling import SamplingResult
+from repro.data.encoding import fold_codes
 from repro.data.table import Table
 from repro.llm.client import LLMClient, LLMRequest
 from repro.llm.prompts import AUGMENT_PROMPT, CONTRASTIVE_CRITERIA_PROMPT
@@ -60,7 +61,7 @@ class AttributeTrainingData:
 def propagate_labels(
     sampling: SamplingResult,
     llm_labels: dict[int, int],
-    evidence: list | None = None,
+    evidence: np.ndarray | list | None = None,
 ) -> dict[int, int]:
     """Spread each representative's label within its cluster (line 1).
 
@@ -75,16 +76,44 @@ def propagate_labels(
     high-cardinality attributes (and mislabels context-dependent errors,
     where one value is clean in one row and a rule violation in
     another).
+
+    Cluster membership comes from one stable argsort group-by over
+    ``cluster_labels`` (members in ascending row order, matching the
+    historical per-cluster ``nonzero`` scan) instead of k full-column
+    scans.  ``evidence`` is ideally an int64 code array (see
+    ``fold_codes``) so the equality filter is one vectorized compare;
+    any other sequence falls back to per-member Python equality.
     """
+    labels_arr = sampling.cluster_labels
+    order = np.argsort(labels_arr, kind="stable")
+    sorted_labels = labels_arr[order]
+    group_ids, starts = np.unique(sorted_labels, return_index=True)
+    ends = np.append(starts[1:], len(order))
+    groups = {
+        int(cid): order[start:end]
+        for cid, start, end in zip(
+            group_ids.tolist(), starts.tolist(), ends.tolist()
+        )
+    }
+    vector_evidence = isinstance(evidence, np.ndarray)
     out: dict[int, int] = {}
     for cluster_id, rep_index in sampling.representative_of.items():
         label = llm_labels.get(rep_index)
         if label is None:
             continue
-        members = np.nonzero(sampling.cluster_labels == cluster_id)[0]
+        members = groups.get(int(cluster_id))
+        if members is None:
+            continue
         if label == 1 and evidence is not None:
-            rep_key = evidence[rep_index]
-            members = [i for i in members.tolist() if evidence[i] == rep_key]
+            if vector_evidence:
+                members = members[
+                    evidence[members] == evidence[rep_index]
+                ].tolist()
+            else:
+                rep_key = evidence[rep_index]
+                members = [
+                    i for i in members.tolist() if evidence[i] == rep_key
+                ]
         else:
             members = members.tolist()
         for i in members:
@@ -159,15 +188,18 @@ def verify_attribute(
     attributes' base features, and their dimensions must be final.
     """
     if config.propagate_labels:
-        # Evidence keys only need equality semantics, so interned codes
-        # stand in for the (value, context...) string tuples; zip over
-        # the code arrays stays at C speed.
-        code_cols = [table.encoding(attr).codes.tolist()] + [
-            table.encoding(q).codes.tolist()
-            for q in correlated
-            if q in table.attributes
-        ]
-        evidence = list(zip(*code_cols))
+        # Evidence keys only need equality semantics, so one folded
+        # int64 code array stands in for the (value, context...) string
+        # tuples and the same-evidence filter becomes a vectorized
+        # compare.
+        evidence = fold_codes(
+            [table.encoding(attr)]
+            + [
+                table.encoding(q)
+                for q in correlated
+                if q in table.attributes
+            ]
+        )
         propagated = propagate_labels(sampling, llm_labels, evidence=evidence)
     else:
         propagated = dict(llm_labels)
@@ -176,7 +208,6 @@ def verify_attribute(
     )
     if not (config.use_verification and propagated):
         return outcome
-    col = table.column_view(attr)
     error_rows = [
         _context_row(table, i, attr, correlated)
         for i, lab in sorted(llm_labels.items())
@@ -201,13 +232,12 @@ def verify_attribute(
         )
     else:
         candidates = []
-    # Verify criteria against propagated right labels (lines 8-14).
-    right_rows = [
-        (i, _context_row(table, i, attr, correlated))
-        for i, lab in propagated.items()
-        if lab == 0
-    ]
-    row_dicts = [row for _, row in right_rows]
+    # Verify criteria against propagated right labels (lines 8-14):
+    # each criterion evaluates once per distinct (value, context)
+    # combo over the right-labeled rows and its accuracy is the mean
+    # of the scattered verdicts — no per-row dicts, no defensive
+    # copies.
+    right_idx = [i for i, lab in propagated.items() if lab == 0]
     # The evolving criteria set = contrastive refinements plus the
     # surviving initial criteria (deduplicated by name, refinements
     # first), all verified against the right-labeled data.
@@ -220,23 +250,27 @@ def verify_attribute(
     for crit in list(candidates) + list(initial):
         merged.setdefault(crit.name, crit)
     refined: list[Criterion] = []
-    trusted: list[Criterion] = []
+    trusted_verdicts: list[np.ndarray] = []
     for crit in merged.values():
-        accuracy = crit.accuracy_on(row_dicts)
+        verdicts = crit.evaluate_rows(table, right_idx, context=correlated)
+        accuracy = float(verdicts.mean()) if right_idx else 0.0
         if accuracy >= config.criteria_accuracy_threshold:
             refined.append(crit)
             outcome.n_criteria_kept += 1
             if accuracy >= config.data_verify_accuracy:
-                trusted.append(crit)
+                trusted_verdicts.append(verdicts)
         else:
             outcome.n_criteria_dropped += 1
     # Verify right-labeled data against the *trusted* criteria
     # (lines 15-20): drop rows failing most checks.  Noisier criteria
-    # stay as features but must not delete training rows.
-    if trusted:
-        for i, row in right_rows:
-            passed = sum(1 for c in trusted if c.check(row))
-            if passed / len(trusted) < config.data_pass_threshold:
+    # stay as features but must not delete training rows.  One stacked
+    # boolean matrix reduction replaces the per-row re-checks (the
+    # verdicts are already in hand from the accuracy pass).
+    if trusted_verdicts:
+        pass_counts = np.sum(trusted_verdicts, axis=0)
+        n_trusted = len(trusted_verdicts)
+        for pos, i in enumerate(right_idx):
+            if int(pass_counts[pos]) / n_trusted < config.data_pass_threshold:
                 del propagated[i]
                 outcome.n_removed += 1
     # Fig. 3: refined criteria replace the criteria feature block.

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.encoding import fold_codes
 from repro.data.table import Table
 from repro.errors import CriteriaError
 
@@ -126,33 +127,67 @@ class Criterion:
         value_col = table.column_view(self.attr)
         context_names = [a for a in self.context_attrs if a in table.attributes]
         context_cols = [table.column_view(a) for a in context_names]
-        encodings = [table.encoding(self.attr)] + [
-            table.encoding(a) for a in context_names
-        ]
-        # Fold the per-column codes into one int64 key when the combined
-        # cardinality fits (the common case: zero or one context attr);
-        # 1-D np.unique is much cheaper than an axis=0 lexsort.
-        capacity = 1
-        for enc in encodings:
-            capacity *= max(enc.n_unique, 1)
-        if capacity < 2**62:
-            key = encodings[0].codes
-            for enc in encodings[1:]:
-                key = key * np.int64(max(enc.n_unique, 1)) + enc.codes
-            _, first_rows, inverse = np.unique(
-                key, return_index=True, return_inverse=True
-            )
-        else:
-            stacked = np.stack([enc.codes for enc in encodings], axis=1)
-            _, first_rows, inverse = np.unique(
-                stacked, axis=0, return_index=True, return_inverse=True
-            )
+        # One int64 key per row for the (value, context...) combo; 1-D
+        # np.unique over the fold is much cheaper than an axis=0
+        # lexsort (fold_codes falls back to one only when the combined
+        # cardinality overflows int64).
+        key = fold_codes(
+            [table.encoding(self.attr)]
+            + [table.encoding(a) for a in context_names]
+        )
+        _, first_rows, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
         # Each row dict built here is fresh and discarded, so it can go
         # to the compiled function without `check`'s defensive copy.
         verdicts = np.empty(len(first_rows), dtype=bool)
         for j, i in enumerate(first_rows.tolist()):
             row = {self.attr: value_col[i]}
             for name, col in zip(context_names, context_cols):
+                row[name] = col[i]
+            verdicts[j] = self._check_consumable(row, self._row_key(row))
+        return verdicts[inverse]
+
+    def evaluate_rows(
+        self,
+        table: Table,
+        row_indices: Sequence[int] | np.ndarray,
+        context: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Boolean pass-vector over ``row_indices`` (aligned with them).
+
+        The vectorized form of calling :meth:`check` on
+        ``{attr: cell, q: cell for q in context}`` dicts row by row:
+        the unique-combo fold of :meth:`evaluate_column` restricted to
+        the given rows.  The cache key only involves ``attr`` and the
+        ``context_attrs`` present among ``context``, so the criterion
+        runs once per distinct key — on the key's *first* row in
+        ``row_indices`` order, with the full context dict, exactly the
+        row the per-row loop's first cache miss would have evaluated —
+        and shares its verdict cache with every other entry point.
+        """
+        idx = np.asarray(row_indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        value_col = table.column_view(self.attr)
+        context_names = [q for q in context if q != self.attr]
+        context_cols = {a: table.column_view(a) for a in context_names}
+        # Only columns that feed `_row_key` partition the rows; context
+        # attrs absent from the row dicts contribute a constant "".
+        key_names = [a for a in self.context_attrs if a in context_cols]
+        key = fold_codes(
+            [table.encoding(self.attr)]
+            + [table.encoding(a) for a in key_names],
+            row_indices=idx,
+        )
+        _, first_pos, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
+        verdicts = np.empty(len(first_pos), dtype=bool)
+        for j, p in enumerate(first_pos.tolist()):
+            i = int(idx[p])
+            row = {self.attr: value_col[i]}
+            for name, col in context_cols.items():
                 row[name] = col[i]
             verdicts[j] = self._check_consumable(row, self._row_key(row))
         return verdicts[inverse]

@@ -81,6 +81,45 @@ class ColumnEncoding:
         return len(self.uniques)
 
 
+def fold_codes(
+    encodings: Sequence[ColumnEncoding],
+    row_indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Injective int64 key per row for a tuple of aligned columns.
+
+    Two rows get equal keys iff their value tuples over ``encodings``
+    are equal — the array form of ``tuple(row values)``.  When the
+    combined cardinality fits in int64 the key is the mixed-radix fold
+    ``((c0 * n1 + c1) * n2 + c2) ...`` (the common case: one or two
+    context columns); otherwise the stacked codes are re-interned with
+    one ``np.unique(axis=0)`` pass, which preserves equality semantics
+    at the cost of a lexsort.
+
+    ``row_indices`` restricts the fold to those rows (keys are then
+    aligned with ``row_indices``, not with the full column).
+
+    The result may alias the first encoding's live ``codes`` array
+    (single-encoding passthrough) — treat it as read-only.
+    """
+    if not encodings:
+        raise ValueError("fold_codes needs at least one encoding")
+
+    def col(enc: ColumnEncoding) -> np.ndarray:
+        return enc.codes if row_indices is None else enc.codes[row_indices]
+
+    capacity = 1
+    for enc in encodings:
+        capacity *= max(enc.n_unique, 1)
+    if capacity < 2**62:
+        key = col(encodings[0])
+        for enc in encodings[1:]:
+            key = key * np.int64(max(enc.n_unique, 1)) + col(enc)
+        return key
+    stacked = np.stack([col(enc) for enc in encodings], axis=1)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    return inverse.astype(np.int64, copy=False)
+
+
 def joint_counts(
     lhs: ColumnEncoding, rhs: ColumnEncoding, return_index: bool = False
 ) -> tuple[np.ndarray, ...]:

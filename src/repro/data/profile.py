@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.data.stats import AttributeStats, PairStats
+from repro.data.stats import AttributeStats
 from repro.data.table import Table
 from repro.ml.nmi import normalized_mutual_information
 
@@ -116,7 +116,7 @@ def profile_table(
             if nmi < nmi_threshold:
                 continue
             for a, b in ((lhs, rhs), (rhs, lhs)):
-                ps = PairStats.compute(table, a, b)
+                ps = table.pair_stats(a, b)
                 if ps.fd_strength >= fd_threshold:
                     profile.dependencies.append(
                         DependencyFact(

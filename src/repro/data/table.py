@@ -61,6 +61,7 @@ class Table:
         self._data = data
         self._n_rows = n_rows or 0
         self._encodings: dict[str, ColumnEncoding] = {}
+        self._pair_stats: dict[tuple[str, str], object] = {}
         self.name = name
 
     # ------------------------------------------------------------------
@@ -146,6 +147,11 @@ class Table:
         self._check_attr(attr)
         self._data[attr][i] = _coerce_cell(value)
         self._encodings.pop(attr, None)
+        if self._pair_stats:
+            self._pair_stats = {
+                key: ps for key, ps in self._pair_stats.items()
+                if attr not in key
+            }
 
     def attr_index(self, attr: str) -> int:
         self._check_attr(attr)
@@ -165,6 +171,27 @@ class Table:
             enc = ColumnEncoding.from_values(self._data[attr])
             self._encodings[attr] = enc
         return enc
+
+    def pair_stats(self, lhs: str, rhs: str):
+        """Cached dependency statistics for the ``(lhs, rhs)`` pair.
+
+        Memoizes :meth:`repro.data.stats.PairStats.compute` per ordered
+        pair, invalidated by :meth:`set_cell` for entries touching the
+        mutated attribute — the same lifecycle as :meth:`encoding`.
+        The labeling, repair and profiling stages all consult the same
+        correlated pairs, so one computation pass serves them all.
+        (Imported lazily: ``stats`` builds on this module.)
+        """
+        self._check_attr(lhs)
+        self._check_attr(rhs)
+        key = (lhs, rhs)
+        ps = self._pair_stats.get(key)
+        if ps is None:
+            from repro.data.stats import PairStats
+
+            ps = PairStats.compute(self, lhs, rhs)
+            self._pair_stats[key] = ps
+        return ps
 
     def iter_rows(self) -> Iterator[dict[str, str]]:
         for i in range(self._n_rows):
