@@ -17,7 +17,8 @@ is additionally timed with the opt-in float32 ``fast`` engine and
 reported alongside the exact numbers.
 
 ``--smoke`` runs the 1k slice only and **fails** (exit 1) when the
-exact path regresses more than 2x against the recorded baseline,
+exact path — or, separately, the batched Step-3 assembly stage
+(PR 4) — regresses more than 2x against its recorded baseline,
 hardware-normalised by the shared in-run GEMM calibration
 (``_common.calibrate_gemm_s``) — the same CI-gate pattern as
 ``bench_sampling_micro.py``.
@@ -68,6 +69,12 @@ SEED_BASELINE_S = {
 #: compares *calibration-units*, so slower CI hardware rescales both
 #: sides instead of tripping it.
 EXACT_BASELINE_1K_UNITS = 179.0
+
+#: The batched (PR 4) Step-3 assembly's 1k measurement in the same
+#: calibration units (``assemble_s / calibrate_gemm_s()`` on the
+#: recording machine); the smoke gate fails on >2x regression of the
+#: assembly stage, same pattern as the combined gate above.
+ASSEMBLY_BASELINE_1K_UNITS = 12.5
 
 SIZES = (1_000, 10_000)
 SMOKE_REGRESSION_FACTOR = 2.0
@@ -210,6 +217,10 @@ def bench_size(n_rows: int) -> dict:
         out["combined_units_vs_baseline"] = round(
             out["combined_units"] / EXACT_BASELINE_1K_UNITS, 2
         )
+        out["assemble_units"] = round(out["assemble_s"] / calib, 2)
+        out["assemble_units_vs_baseline"] = round(
+            out["assemble_units"] / ASSEMBLY_BASELINE_1K_UNITS, 2
+        )
     return out
 
 
@@ -269,13 +280,22 @@ def main() -> int:
             if args.smoke and ratio > SMOKE_REGRESSION_FACTOR:
                 line += "  REGRESSION"
                 failed = True
+        assemble_ratio = entry.get("assemble_units_vs_baseline")
+        if assemble_ratio is not None:
+            line += (
+                f"; assembly {entry['assemble_s']}s "
+                f"[{assemble_ratio}x vs baseline]"
+            )
+            if args.smoke and assemble_ratio > SMOKE_REGRESSION_FACTOR:
+                line += "  ASSEMBLY REGRESSION"
+                failed = True
         print(line)
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.out}")
     if failed:
         print(
-            f"FAIL: exact Step-3/4 path slower than "
-            f"{SMOKE_REGRESSION_FACTOR}x the recorded baseline"
+            f"FAIL: exact Step-3/4 path or assembly stage slower than "
+            f"{SMOKE_REGRESSION_FACTOR}x its recorded baseline"
         )
         return 1
     return 0

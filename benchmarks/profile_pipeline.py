@@ -1,17 +1,20 @@
 """End-to-end per-stage pipeline profile (ROADMAP open item).
 
 Runs the full ZeroED pipeline on a generator dataset (default: the
-10k-row Tax slice with the fast sampling engine) and reports every
-stage's wall-clock seconds and LLM token consumption — the timing
-table that picks the next optimisation target.  Results are printed
-and written to ``BENCH_profile.json``.
+10k-row Tax slice with ``engine=auto``, which resolves to the fast
+engines there) once per requested jobs count and reports every stage's
+wall-clock seconds and LLM token consumption — the timing table that
+picks the next optimisation target.  Results are printed and written to
+``BENCH_profile.json``: the top-level stage table describes the
+sweep's *fastest* run (its ``n_jobs`` field says which) and
+``jobs_sweep`` records every run.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_pipeline.py
     PYTHONPATH=src python benchmarks/profile_pipeline.py \
-        --dataset tax --rows 10000 --sampling-engine fast \
-        --detector-engine exact
+        --dataset tax --rows 10000 --sampling-engine auto \
+        --detector-engine auto --jobs 1,4
 """
 
 from __future__ import annotations
@@ -21,37 +24,23 @@ import json
 import time
 from pathlib import Path
 
-from repro.config import DETECTOR_ENGINES, SAMPLING_ENGINES, ZeroEDConfig
+from repro.config import (
+    DETECTOR_ENGINE_CHOICES,
+    SAMPLING_ENGINE_CHOICES,
+    ZeroEDConfig,
+)
 from repro.core.pipeline import ZeroED
 from repro.data.registry import make_dataset
 from repro.ml.metrics import score_masks
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dataset", default="tax")
-    parser.add_argument("--rows", type=int, default=10_000)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--sampling-engine", default="fast", choices=SAMPLING_ENGINES
-    )
-    parser.add_argument(
-        "--detector-engine", default="exact", choices=DETECTOR_ENGINES
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent
-        / "BENCH_profile.json",
-    )
-    args = parser.parse_args()
-
+def profile_run(args, data, n_jobs: int) -> dict:
     config = ZeroEDConfig(
         seed=args.seed,
         sampling_engine=args.sampling_engine,
         detector_engine=args.detector_engine,
+        n_jobs=n_jobs,
     )
-    data = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
     t0 = time.perf_counter()
     result = ZeroED(config).detect(data.dirty)
     total_s = time.perf_counter() - t0
@@ -60,7 +49,8 @@ def main() -> int:
     header = f"{'stage':<16}{'seconds':>10}{'in_tokens':>12}{'out_tokens':>12}"
     print(
         f"{args.dataset}/{args.rows} rows, sampling={args.sampling_engine}, "
-        f"detector={args.detector_engine}"
+        f"detector={args.detector_engine}, jobs={n_jobs} "
+        f"(resolved engines: {result.details['engines']})"
     )
     print(header)
     print("-" * len(header))
@@ -87,13 +77,9 @@ def main() -> int:
         f"P/R/F1 = {prf.precision:.4f}/{prf.recall:.4f}/{prf.f1:.4f}, "
         f"{result.n_llm_requests} LLM requests"
     )
-
-    payload = {
-        "dataset": args.dataset,
-        "rows": args.rows,
-        "seed": args.seed,
-        "sampling_engine": args.sampling_engine,
-        "detector_engine": args.detector_engine,
+    return {
+        "n_jobs": n_jobs,
+        "resolved_engines": result.details["engines"],
         "total_s": round(total_s, 4),
         "precision": round(prf.precision, 4),
         "recall": round(prf.recall, 4),
@@ -102,6 +88,56 @@ def main() -> int:
         "input_tokens": result.input_tokens,
         "output_tokens": result.output_tokens,
         "stages": stages,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="tax")
+    parser.add_argument("--rows", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sampling-engine", default="auto", choices=SAMPLING_ENGINE_CHOICES
+    )
+    parser.add_argument(
+        "--detector-engine", default="auto", choices=DETECTOR_ENGINE_CHOICES
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="comma-separated worker-thread counts to sweep (e.g. '1,4'); "
+        "each value runs the full pipeline once and is recorded in the "
+        "jobs_sweep section; masks are byte-identical across values",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_profile.json",
+    )
+    args = parser.parse_args()
+    jobs_values = [int(j) for j in str(args.jobs).split(",") if j.strip()]
+    if not jobs_values:
+        parser.error(f"--jobs needs at least one integer, got {args.jobs!r}")
+
+    data = make_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    runs = []
+    for n_jobs in jobs_values:
+        runs.append(profile_run(args, data, n_jobs))
+        print()
+
+    # Headline = the sweep's fastest run: on single-core CI hardware
+    # jobs > 1 only adds thread overhead, and the stage table should
+    # describe the configuration one would actually pick there.
+    headline = min(runs, key=lambda r: r["total_s"])
+    payload = {
+        "dataset": args.dataset,
+        "rows": args.rows,
+        "seed": args.seed,
+        "sampling_engine": args.sampling_engine,
+        "detector_engine": args.detector_engine,
+        **headline,
+        "jobs_sweep": runs,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

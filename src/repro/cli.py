@@ -18,7 +18,11 @@ import argparse
 import sys
 
 from repro.bench import METHODS, format_table, run_method
-from repro.config import DETECTOR_ENGINES, SAMPLING_ENGINES, ZeroEDConfig
+from repro.config import (
+    DETECTOR_ENGINE_CHOICES,
+    SAMPLING_ENGINE_CHOICES,
+    ZeroEDConfig,
+)
 from repro.core.pipeline import ZeroED
 from repro.core.repair import RepairSuggester
 from repro.data.csvio import read_csv
@@ -52,17 +56,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--llm", default="qwen2.5-72b", help="LLM profile")
     p.add_argument("--label-rate", type=float, default=0.05)
     p.add_argument("--sampling-engine", default="exact",
-                   choices=SAMPLING_ENGINES,
+                   choices=SAMPLING_ENGINE_CHOICES,
                    help="Step-2 clustering engine: 'exact' (reproducible "
-                        "reference masks) or 'fast' (mini-batch k-means, "
+                        "reference masks), 'fast' (mini-batch k-means, "
                         ">=5x faster on 10k+ rows, masks may shift within "
-                        "the recorded tolerance band)")
+                        "the recorded tolerance band), or 'auto' (fast at "
+                        ">=2k rows, exact below)")
     p.add_argument("--detector-engine", default="exact",
-                   choices=DETECTOR_ENGINES,
+                   choices=DETECTOR_ENGINE_CHOICES,
                    help="Step-4 MLP engine: 'exact' (float64, reproducible "
-                        "reference masks) or 'fast' (float32 train/predict "
+                        "reference masks), 'fast' (float32 train/predict "
                         "over unique feature rows, masks may shift within "
-                        "the recorded tolerance band)")
+                        "the recorded tolerance band), or 'auto' (fast at "
+                        ">=2k rows, exact below)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads for the per-attribute stages "
+                        "(sampling, verification+assembly, detector "
+                        "train/predict); -1 = one per CPU core; masks are "
+                        "byte-identical for every value (default: 1)")
     p.add_argument("--mask-out", default=None,
                    help="write the predicted mask JSON here")
     _add_common(p)
@@ -71,14 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("csv", help="path to a dirty CSV file")
     p.add_argument("--label-rate", type=float, default=0.05)
     p.add_argument("--sampling-engine", default="exact",
-                   choices=SAMPLING_ENGINES,
+                   choices=SAMPLING_ENGINE_CHOICES,
                    help="Step-2 clustering engine: 'exact' (reproducible "
-                        "reference masks) or 'fast' (mini-batch k-means, "
-                        ">=5x faster on 10k+ rows)")
+                        "reference masks), 'fast' (mini-batch k-means, "
+                        ">=5x faster on 10k+ rows), or 'auto' (fast at "
+                        ">=2k rows)")
     p.add_argument("--detector-engine", default="exact",
-                   choices=DETECTOR_ENGINES,
+                   choices=DETECTOR_ENGINE_CHOICES,
                    help="Step-4 MLP engine: 'exact' (float64 reference "
-                        "masks) or 'fast' (float32 over unique rows)")
+                        "masks), 'fast' (float32 over unique rows), or "
+                        "'auto' (fast at >=2k rows)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker threads for per-attribute stages; -1 = one "
+                        "per CPU core (masks identical for every value)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--mask-out", default=None)
 
@@ -116,6 +132,7 @@ def cmd_detect(args) -> int:
         seed=args.seed, llm_model=args.llm, label_rate=args.label_rate,
         sampling_engine=args.sampling_engine,
         detector_engine=args.detector_engine,
+        n_jobs=args.jobs,
     )
     run = run_method(
         args.method, args.dataset, n_rows=args.rows, seed=args.seed,
@@ -135,6 +152,7 @@ def cmd_detect_csv(args) -> int:
         seed=args.seed, label_rate=args.label_rate,
         sampling_engine=args.sampling_engine,
         detector_engine=args.detector_engine,
+        n_jobs=args.jobs,
     )
     result = ZeroED(config).detect(table)
     n = result.mask.error_count()

@@ -13,13 +13,26 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 
-#: Step-2 clustering engines; the single source for config validation,
-#: CLI choices, and the sampling layer's dispatch.
+#: Step-2 clustering engines; the single source for the sampling
+#: layer's dispatch (concrete engines only — ``auto`` resolves to one
+#: of these before reaching the sampling layer).
 SAMPLING_ENGINES = ("exact", "fast")
 
-#: Step-4 MLP engines (config validation, CLI choices, detector
-#: dispatch), mirroring the sampling-engine pattern.
+#: Step-4 MLP engines (detector dispatch), mirroring the
+#: sampling-engine pattern.
 DETECTOR_ENGINES = ("exact", "fast")
+
+#: What config validation and the CLI accept: the concrete engines
+#: plus ``auto``, which picks per table at detect time.
+SAMPLING_ENGINE_CHOICES = SAMPLING_ENGINES + ("auto",)
+DETECTOR_ENGINE_CHOICES = DETECTOR_ENGINES + ("auto",)
+
+#: ``engine="auto"`` crossover: at or above this row count the fast
+#: engine wins; below it the exact engine is already sub-second and
+#: the fast engine's restart/collapse overhead makes it *slower* (the
+#: ~2k crossover measured in BENCH_sampling.json, which also matches
+#: where the fast detector's subsample cap starts paying off).
+AUTO_ENGINE_MIN_ROWS = 2_000
 
 
 @dataclass
@@ -45,7 +58,9 @@ class ZeroEDConfig:
     runs mini-batch k-means over blocked float32 GEMMs — ≥5× faster at
     10k rows, deterministic under the seed, but cluster boundaries
     (hence masks) may differ from 'exact' within the tolerance band
-    recorded in tests/test_sampling_engine.py."""
+    recorded in tests/test_sampling_engine.py; 'auto' resolves per
+    table at detect time — 'fast' at >= AUTO_ENGINE_MIN_ROWS rows,
+    'exact' below."""
 
     # --- feature representation (§III-B) ---
     n_correlated: int = 2
@@ -118,11 +133,21 @@ class ZeroEDConfig:
     rows (capped at a seeded subsample) and predicts once per unique
     feature row — deterministic under the seed, but probabilities
     (hence masks) may shift within the tolerance band recorded in
-    tests/test_step34_engine.py."""
+    tests/test_step34_engine.py; 'auto' resolves per table at detect
+    time — 'fast' at >= AUTO_ENGINE_MIN_ROWS rows, 'exact' below."""
 
     # --- LLM ---
     llm_model: str = "qwen2.5-72b"
     """Profile name for the simulated backend (Table V)."""
+
+    # --- execution ---
+    n_jobs: int = 1
+    """Worker threads for the per-attribute stages (Step-2 sampling,
+    Step-3 verification + assembly, Step-4 detector train/predict).
+    1 (default) runs the serial path bit-for-bit; -1 means one worker
+    per CPU core.  Masks are byte-identical for every value — each
+    per-attribute task is a pure function of (seed, attr) and results
+    are collected in attribute order (see repro.parallel)."""
 
     # --- misc ---
     seed: int = 0
@@ -142,20 +167,36 @@ class ZeroEDConfig:
                 f"clustering must be kmeans/agglomerative/random, "
                 f"got {self.clustering!r}"
             )
-        if self.sampling_engine not in SAMPLING_ENGINES:
+        if self.sampling_engine not in SAMPLING_ENGINE_CHOICES:
             raise ConfigError(
-                f"sampling_engine must be one of {SAMPLING_ENGINES}, "
+                f"sampling_engine must be one of {SAMPLING_ENGINE_CHOICES}, "
                 f"got {self.sampling_engine!r}"
             )
-        if self.detector_engine not in DETECTOR_ENGINES:
+        if self.detector_engine not in DETECTOR_ENGINE_CHOICES:
             raise ConfigError(
-                f"detector_engine must be one of {DETECTOR_ENGINES}, "
+                f"detector_engine must be one of {DETECTOR_ENGINE_CHOICES}, "
                 f"got {self.detector_engine!r}"
+            )
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ConfigError(
+                f"n_jobs must be >= 1 or -1 (all cores), got {self.n_jobs}"
             )
         for name in ("criteria_accuracy_threshold", "data_pass_threshold"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigError(f"{name}={value} outside [0, 1]")
+
+    def resolve_sampling_engine(self, n_rows: int) -> str:
+        """Concrete Step-2 engine for a table of ``n_rows`` rows."""
+        if self.sampling_engine != "auto":
+            return self.sampling_engine
+        return "fast" if n_rows >= AUTO_ENGINE_MIN_ROWS else "exact"
+
+    def resolve_detector_engine(self, n_rows: int) -> str:
+        """Concrete Step-4 engine for a table of ``n_rows`` rows."""
+        if self.detector_engine != "auto":
+            return self.detector_engine
+        return "fast" if n_rows >= AUTO_ENGINE_MIN_ROWS else "exact"
 
     def clusters_for(self, n_rows: int) -> int:
         """Cluster count for one attribute: data size × label rate."""

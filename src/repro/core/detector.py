@@ -18,7 +18,14 @@ The MLP execution engine follows ``config.detector_engine``:
   them at a seeded class-preserving subsample
   (``FAST_MAX_TRAIN_ROWS``, the MiniBatchKMeans subsample idea), and
   prediction computes one probability per unique feature row and
-  scatters it back through the codes.
+  scatters it back through the codes;
+* ``auto`` — resolved against the table's row count at fit time
+  (``ZeroEDConfig.resolve_detector_engine``).
+
+With ``config.n_jobs > 1`` the per-attribute fits and prediction
+passes fan across a worker-thread pool (the MLP GEMMs release the
+GIL); each attribute owns its model, scaler and spawned seed, so masks
+stay byte-identical to the serial path for any jobs count.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.ml.distance import collapse_duplicate_rows
 from repro.ml.mlp import MLPClassifier, Workspace
 from repro.ml.rng import spawn
 from repro.ml.scaler import StandardScaler
+from repro.parallel import effective_jobs, parallel_map
 
 #: Fast-engine training-set cap: unique training rows beyond this are
 #: subsampled (seeded, class-preserving, multiplicities kept as
@@ -113,14 +121,30 @@ class ErrorDetector:
     def __init__(self, config: ZeroEDConfig) -> None:
         self.config = config
         self._models: dict[str, _AttributeModel] = {}
+        # Concrete engine, owned by fit(): 'auto' resolves against the
+        # training table's row count there; until then no engine
+        # decision exists (predict before fit raises NotFittedError).
+        self._engine: str | None = None
 
     def fit(
         self,
         training: dict[str, AttributeTrainingData],
         feature_space: FeatureSpace,
     ) -> "ErrorDetector":
-        for attr, data in training.items():
-            self._models[attr] = self._fit_attribute(attr, data)
+        self._engine = self.config.resolve_detector_engine(
+            feature_space.table.n_rows
+        )
+        attrs = list(training)
+        # Per-attribute MLPs share nothing (each task spawns its own
+        # seed and owns its model/scaler), so training fans across the
+        # worker pool; attribute order of self._models is preserved.
+        models = parallel_map(
+            lambda attr: self._fit_attribute(attr, training[attr]),
+            attrs,
+            self.config.n_jobs,
+        )
+        for attr, model in zip(attrs, models):
+            self._models[attr] = model
         return self
 
     def _fit_attribute(
@@ -134,13 +158,14 @@ class ErrorDetector:
             return _AttributeModel(
                 scaler=None, mlp=None, constant=bool(classes.pop())
             )
-        fast = self.config.detector_engine == "fast"
+        engine = self._engine
+        fast = engine == "fast"
         mlp = MLPClassifier(
             hidden=self.config.mlp_hidden,
             epochs=self.config.mlp_epochs,
             lr=self.config.mlp_lr,
             seed=spawn(self.config.seed, f"mlp/{attr}"),
-            engine=self.config.detector_engine,
+            engine=engine,
         )
         scaler = StandardScaler()
         if fast:
@@ -170,51 +195,82 @@ class ErrorDetector:
     def predict(self, table: Table, feature_space: FeatureSpace) -> ErrorMask:
         """Classify every cell of ``table`` as clean (False) or dirty.
 
-        One workspace serves every attribute's forward pass: all
-        attributes share the table's row count and the configured
+        Serially, one workspace serves every attribute's forward pass:
+        all attributes share the table's row count and the configured
         hidden width, so the activation tiles are allocated once and
-        reused across the whole prediction sweep.
+        reused across the whole prediction sweep.  With
+        ``config.n_jobs > 1`` the per-attribute passes fan across the
+        worker pool instead (each with its own workspace — buffer reuse
+        only affects allocation, never values) after the shared
+        base-matrix cache is warmed serially; every attribute writes a
+        disjoint mask column, so the mask is byte-identical either way.
         """
         if not self._models:
             raise NotFittedError("ErrorDetector.predict called before fit")
         mask = ErrorMask.zeros(table.attributes, table.n_rows)
-        workspace = Workspace()
-        fast = self.config.detector_engine == "fast"
-        for attr in table.attributes:
-            model = self._models.get(attr)
-            if model is None:
-                continue
-            if model.constant is not None:
-                if model.constant:
-                    mask.matrix[:, table.attr_index(attr)] = True
-                continue
-            unified = feature_space.unified_matrix(attr)
-            if fast:
-                # Equal feature rows get equal probabilities: predict
-                # once per unique row, scatter back.  A unified row is
-                # a pure function of its interned column codes, so the
-                # dedup key is one folded int64 array (O(n)) rather
-                # than a lexsort of the float matrix.
-                key = fold_codes(
-                    [
-                        table.encoding(a)
-                        for a in _unified_key_columns(
-                            feature_space, table, attr
-                        )
-                    ]
-                )
-                _, first_rows, inverse = np.unique(
-                    key, return_index=True, return_inverse=True
-                )
-                proba = model.mlp.predict_proba(
-                    model.scaler.transform(unified[first_rows]),
-                    workspace=workspace,
-                )[inverse]
-            else:
-                proba = model.mlp.predict_proba(
-                    model.scaler.transform(unified), workspace=workspace
-                )
-            mask.matrix[:, table.attr_index(attr)] = (
-                proba >= self.config.decision_threshold
+        fast = self._engine == "fast"
+        attrs = table.attributes
+        if effective_jobs(self.config.n_jobs, len(attrs)) > 1:
+            for attr in attrs:
+                feature_space.base_matrix(attr)
+                table.encoding(attr)
+            parallel_map(
+                lambda attr: self._predict_attribute(
+                    attr, table, feature_space, mask, Workspace(), fast
+                ),
+                attrs,
+                self.config.n_jobs,
             )
+        else:
+            workspace = Workspace()
+            for attr in attrs:
+                self._predict_attribute(
+                    attr, table, feature_space, mask, workspace, fast
+                )
         return mask
+
+    def _predict_attribute(
+        self,
+        attr: str,
+        table: Table,
+        feature_space: FeatureSpace,
+        mask: ErrorMask,
+        workspace: Workspace,
+        fast: bool,
+    ) -> None:
+        model = self._models.get(attr)
+        if model is None:
+            return
+        if model.constant is not None:
+            if model.constant:
+                mask.matrix[:, table.attr_index(attr)] = True
+            return
+        unified = feature_space.unified_matrix(attr)
+        if fast:
+            # Equal feature rows get equal probabilities: predict
+            # once per unique row, scatter back.  A unified row is
+            # a pure function of its interned column codes, so the
+            # dedup key is one folded int64 array (O(n)) rather
+            # than a lexsort of the float matrix.
+            key = fold_codes(
+                [
+                    table.encoding(a)
+                    for a in _unified_key_columns(
+                        feature_space, table, attr
+                    )
+                ]
+            )
+            _, first_rows, inverse = np.unique(
+                key, return_index=True, return_inverse=True
+            )
+            proba = model.mlp.predict_proba(
+                model.scaler.transform(unified[first_rows]),
+                workspace=workspace,
+            )[inverse]
+        else:
+            proba = model.mlp.predict_proba(
+                model.scaler.transform(unified), workspace=workspace
+            )
+        mask.matrix[:, table.attr_index(attr)] = (
+            proba >= self.config.decision_threshold
+        )

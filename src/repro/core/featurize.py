@@ -27,12 +27,13 @@ criteria likewise evaluate distinct values/combos only.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.config import ZeroEDConfig
 from repro.criteria import Criterion
-from repro.data.encoding import joint_counts
+from repro.data.encoding import ColumnEncoding, joint_counts
 from repro.data.stats import AttributeStats
 from repro.data.table import Table
 from repro.text.embeddings import SubwordHashEmbedding
@@ -239,6 +240,78 @@ class AttributeFeaturizer:
             return np.zeros(1)
         return np.concatenate(blocks)
 
+    def base_rows(
+        self,
+        values: Sequence[str],
+        rows: Sequence[Mapping[str, str]],
+    ) -> np.ndarray:
+        """Base features for ad-hoc ``(value, row-context)`` pairs.
+
+        The batch form of :meth:`base_vector` — bit-identical output,
+        assembled with the interning treatment instead of one
+        concatenate per pair: frequency/pattern and embedding features
+        are pure functions of the value, so they are computed once per
+        *unique* value and scattered to pairs with one gather; vicinity
+        ratios depend on the row context and stay per-pair (two dict
+        lookups each); criteria evaluate through
+        :meth:`~repro.criteria.Criterion.evaluate_values`, once per
+        distinct (value, context) combo.
+        """
+        n = len(values)
+        if n != len(rows):
+            raise ValueError("values and rows must align")
+        config = self.config
+        use_semantic = (
+            config.use_semantic_features and self.embedding is not None
+        )
+        if not (
+            config.use_statistical_features
+            or use_semantic
+            or config.use_criteria_features
+        ):
+            return np.zeros((n, 1))
+        # Factorize the ad-hoc values like any table column.
+        enc = ColumnEncoding.from_values(list(values))
+        codes, uniques = enc.codes, enc.uniques
+        width = 0
+        if config.use_statistical_features:
+            width += 4 + len(self._vicinity_joint)
+        if use_semantic:
+            width += self.embedding.dim
+        if config.use_criteria_features:
+            width += len(self.criteria)
+        out = np.empty((n, width))
+        col = 0
+        if config.use_statistical_features:
+            uniq_freqs = np.asarray(
+                [self._frequency_features(u) for u in uniques]
+            ).reshape(len(uniques), 4)
+            out[:, :4] = uniq_freqs[codes]
+            col = 4
+            for q in self._vicinity:
+                pair_counts, lhs_counts = self._vicinity[q]
+                column = out[:, col]
+                for pos, (value, row) in enumerate(zip(values, rows)):
+                    lhs = row.get(q, "")
+                    denom = lhs_counts.get(lhs, 0)
+                    column[pos] = (
+                        pair_counts.get((lhs, value), 0) / denom
+                        if denom
+                        else 0.0
+                    )
+                col += 1
+        if use_semantic:
+            dim = self.embedding.dim
+            out[:, col : col + dim] = self.embedding.embed_uniques(uniques)[
+                codes
+            ]
+            col += dim
+        if config.use_criteria_features:
+            for c in self.criteria:
+                out[:, col] = c.evaluate_values(values, rows)
+                col += 1
+        return out
+
     def _frequency_features(
         self, value: str
     ) -> tuple[float, float, float, float]:
@@ -308,6 +381,33 @@ class FeatureSpace:
         if self.config.use_correlated_features:
             for q in self.correlated.get(attr, []):
                 parts.append(self.base_matrix(q))
+        return np.hstack(parts)
+
+    def unified_rows(
+        self,
+        attr: str,
+        values: Sequence[str],
+        rows: Sequence[Mapping[str, str]],
+        row_indices: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Unified features for ad-hoc values within known row contexts.
+
+        The batch form of :meth:`unified_vector` with ``row_index``
+        known for every pair (Step-3 assembly's augmented examples):
+        the attribute's own base block folds per unique value through
+        :meth:`AttributeFeaturizer.base_rows`, and each correlated
+        block is one fancy-indexed gather from the cached
+        ``base_matrix`` instead of a per-pair row copy.  Bit-identical
+        to stacking the per-pair vectors.
+        """
+        base = self.featurizers[attr].base_rows(values, rows)
+        parts = [base]
+        if self.config.use_correlated_features:
+            idx = np.asarray(row_indices, dtype=np.intp)
+            if len(idx) != len(base):
+                raise ValueError("row_indices must align with values")
+            for q in self.correlated.get(attr, []):
+                parts.append(self.base_matrix(q)[idx])
         return np.hstack(parts)
 
     def unified_vector(

@@ -28,6 +28,7 @@ from repro.data.table import Table
 from repro.llm.client import LLMClient
 from repro.llm.profiles import get_profile
 from repro.ml.rng import spawn
+from repro.parallel import effective_jobs, parallel_attr_map
 
 
 class ZeroED:
@@ -69,9 +70,28 @@ class ZeroED:
     def detect(self, table: Table) -> DetectionResult:
         """Detect errors in every cell of ``table``."""
         config = self.config
+        # 'auto' engines resolve against this table's row count once,
+        # up front: 'fast' at/above the ~2k-row crossover, 'exact'
+        # below it (see config.AUTO_ENGINE_MIN_ROWS).
+        if "auto" in (config.sampling_engine, config.detector_engine):
+            config = dataclasses.replace(
+                config,
+                sampling_engine=config.resolve_sampling_engine(table.n_rows),
+                detector_engine=config.resolve_detector_engine(table.n_rows),
+            )
+        # Per-attribute stages fan across a worker pool when n_jobs > 1
+        # (masks stay byte-identical for any jobs count); n_jobs == 1
+        # keeps the historical serial loops bit-for-bit.
+        parallel = effective_jobs(config.n_jobs, table.n_attributes) > 1
         self.llm.ledger.reset()
         stages: list[StageInfo] = []
-        details: dict = {}
+        details: dict = {
+            "engines": {
+                "sampling": config.sampling_engine,
+                "detector": config.detector_engine,
+            },
+            "n_jobs": config.n_jobs,
+        }
 
         def run_stage(name: str, fn):
             before = self.llm.ledger.summary()
@@ -119,16 +139,23 @@ class ZeroED:
         # --- Step 2: sampling and holistic LLM labeling ----------------
         def do_sampling() -> dict[str, SamplingResult]:
             n_clusters = config.clusters_for(table.n_rows)
-            return {
-                attr: sample_representatives(
+            if parallel:
+                # Warm the shared base-matrix cache serially (unified
+                # matrices concatenate other attributes' base blocks)
+                # so workers only read it.
+                for attr in table.attributes:
+                    feature_space.base_matrix(attr)
+            return parallel_attr_map(
+                lambda attr: sample_representatives(
                     feature_space.unified_matrix(attr),
                     n_clusters=n_clusters,
                     method=config.clustering,
                     seed=spawn(config.seed, f"sample/{attr}"),
                     engine=config.sampling_engine,
-                )
-                for attr in table.attributes
-            }
+                ),
+                table.attributes,
+                config.n_jobs,
+            )
 
         sampling = run_stage("sampling", do_sampling)
 
@@ -172,8 +199,13 @@ class ZeroED:
         # criteria into the feature space, changing base dimensions),
         # then feature/label assembly against the final feature space.
         def do_training_data():
-            outcomes = {
-                attr: verify_attribute(
+            # Verification tasks are per-attribute independent: each
+            # one reads shared immutable state (table, encodings) and
+            # mutates only its own attribute's criteria block, so the
+            # fan-out is safe and order-free (LLM responses and spawned
+            # seeds are pure functions of (seed, attr)).
+            outcomes = parallel_attr_map(
+                lambda attr: verify_attribute(
                     llm=self.llm,
                     table=table,
                     attr=attr,
@@ -182,11 +214,18 @@ class ZeroED:
                     llm_labels=llm_labels[attr],
                     correlated=correlated[attr],
                     config=config,
-                )
-                for attr in table.attributes
-            }
-            return {
-                attr: assemble_training_data(
+                ),
+                table.attributes,
+                config.n_jobs,
+            )
+            if parallel:
+                # Criteria refinement invalidated base matrices; warm
+                # the rebuilt cache serially before assembly workers
+                # gather correlated blocks from it.
+                for attr in table.attributes:
+                    feature_space.base_matrix(attr)
+            return parallel_attr_map(
+                lambda attr: assemble_training_data(
                     llm=self.llm,
                     table=table,
                     attr=attr,
@@ -194,9 +233,10 @@ class ZeroED:
                     outcome=outcomes[attr],
                     correlated=correlated[attr],
                     config=config,
-                )
-                for attr in table.attributes
-            }
+                ),
+                table.attributes,
+                config.n_jobs,
+            )
 
         training = run_stage("training_data", do_training_data)
 

@@ -17,6 +17,13 @@ Two engines (``config.sampling_engine``):
   blocked float32 distance kernel, and labels scatter back through the
   codes.  ≥5× faster at 10k rows; cluster boundaries may shift within
   the recorded parity band (see ``tests/test_sampling_engine.py``).
+
+``config.sampling_engine = "auto"`` resolves to one of the two before
+reaching this module (``ZeroEDConfig.resolve_sampling_engine``: fast
+at/above the ~2k-row crossover, exact below); this layer only accepts
+concrete engines.  The pipeline may call :func:`sample_representatives`
+for many attributes concurrently (``config.n_jobs``) — every input is
+task-local or read-only, so the fan-out needs no coordination here.
 """
 
 from __future__ import annotations

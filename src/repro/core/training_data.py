@@ -27,6 +27,16 @@ from repro.llm.prompts import AUGMENT_PROMPT, CONTRASTIVE_CRITERIA_PROMPT
 from repro.ml.rng import spawn
 
 
+#: Clean-value slices for the augmentation request.  The *payload*
+#: carries a wide sample — the (simulated) model's basis for drawing
+#: realistic error variants, where more coverage means more diverse
+#: augmentations — while the *prompt* embeds only a short prefix of
+#: the same list: prompt text is token-billed per request, and thirty
+#: examples are plenty for a real model to pick up the value format.
+AUGMENT_PAYLOAD_CLEAN_VALUES = 200
+AUGMENT_PROMPT_CLEAN_VALUES = 30
+
+
 @dataclass
 class VerificationOutcome:
     """Result of Algorithm 1's verification phase for one attribute."""
@@ -295,8 +305,15 @@ def assemble_training_data(
     col = table.column_view(attr)
     unified = feature_space.unified_matrix(attr)
     row_indices = sorted(propagated)
-    features = [unified[row_indices]] if row_indices else []
-    labels = [np.array([propagated[i] for i in row_indices], dtype=float)]
+    # The propagated block is gathered straight into the output matrix
+    # once the augmented row count is known (below) — one copy instead
+    # of the historical gather-then-vstack two.
+    labels = (
+        [np.array([propagated[i] for i in row_indices], dtype=float)]
+        if row_indices
+        else []
+    )
+    aug_features: np.ndarray | None = None
     n_augmented = 0
     if config.use_verification and row_indices:
         n_err = int(sum(propagated[i] for i in row_indices))
@@ -310,7 +327,10 @@ def assemble_training_data(
                 int(clean_indices[int(k)])
                 for k in rng.integers(0, len(clean_indices), size=needed)
             ]
-            clean_values = [col[i] for i in clean_indices[:200]]
+            clean_values = [
+                col[i]
+                for i in clean_indices[:AUGMENT_PAYLOAD_CLEAN_VALUES]
+            ]
             response = llm.complete(
                 LLMRequest(
                     kind="augment",
@@ -318,7 +338,9 @@ def assemble_training_data(
                         attr=attr,
                         dataset=table.name,
                         n=needed,
-                        clean_values=clean_values[:30],
+                        clean_values=clean_values[
+                            :AUGMENT_PROMPT_CLEAN_VALUES
+                        ],
                         error_desc="typos, format breaks, magnitude shifts, "
                         "placeholders observed in the labeled errors",
                     ),
@@ -331,36 +353,76 @@ def assemble_training_data(
                 )
             )
             generated = list(response.payload or [])
-            aug_vectors = []
             featurizer = feature_space.featurizers[attr]
             check_criteria = outcome.refined_criteria or featurizer.criteria
             rare = max(2, round(0.002 * table.n_rows))
+            # Verify augmented errors before use: the variant must
+            # differ from its source, and must actually *look*
+            # erroneous — fail at least one criterion or be rare in
+            # the column.  A frequent value passing every check is a
+            # failed augmentation (the LLM returned clean data).  The
+            # checks and the featurization both run batched — criteria
+            # evaluate once per distinct (value, context) combo and
+            # features fold per unique value — bit-identical to the
+            # retained per-value loop (tests/_reference_assembly.py).
+            cand_values: list[str] = []
+            cand_rows: list[dict[str, str]] = []
+            cand_srcs: list[int] = []
+            corr_cols = [(q, table.column_view(q)) for q in correlated]
             for value, src in zip(generated, source_rows):
-                # Verify augmented errors before use: the variant must
-                # differ from its source, and must actually *look*
-                # erroneous — fail at least one criterion or be rare in
-                # the column.  A frequent value passing every check is a
-                # failed augmentation (the LLM returned clean data).
                 if value == col[src]:
                     continue
-                row = _context_row(table, src, attr, correlated)
-                row[attr] = value
-                fails_criterion = any(
-                    not c.check(row) for c in check_criteria
+                row = {attr: value}
+                for q, q_col in corr_cols:
+                    row[q] = q_col[src]
+                cand_values.append(value)
+                cand_rows.append(row)
+                cand_srcs.append(src)
+            n_cand = len(cand_values)
+            keep = np.zeros(n_cand, dtype=bool)
+            if check_criteria and n_cand:
+                # Short-circuit like the per-value ``any(not c.check)``:
+                # a candidate failing a criterion is kept and never
+                # consults later criteria, so the batch evaluates the
+                # same (criterion, combo) pairs as the per-value loop.
+                pending = np.arange(n_cand)
+                for c in check_criteria:
+                    passed = c.evaluate_values(
+                        [cand_values[p] for p in pending.tolist()],
+                        [cand_rows[p] for p in pending.tolist()],
+                    )
+                    keep[pending[~passed]] = True
+                    pending = pending[passed]
+                    if pending.size == 0:
+                        break
+            counts = featurizer.stats.value_counts
+            for pos in np.nonzero(~keep)[0].tolist():
+                if counts.get(cand_values[pos], 0) <= rare:
+                    keep[pos] = True
+            kept = np.nonzero(keep)[0].tolist()
+            if kept:
+                aug_features = feature_space.unified_rows(
+                    attr,
+                    [cand_values[k] for k in kept],
+                    [cand_rows[k] for k in kept],
+                    [cand_srcs[k] for k in kept],
                 )
-                is_rare = featurizer.stats.value_counts.get(value, 0) <= rare
-                if not fails_criterion and not is_rare:
-                    continue
-                aug_vectors.append(
-                    feature_space.unified_vector(attr, value, row, src)
-                )
-            if aug_vectors:
-                features.append(np.stack(aug_vectors))
-                labels.append(np.ones(len(aug_vectors)))
-                n_augmented = len(aug_vectors)
+                labels.append(np.ones(len(kept)))
+                n_augmented = len(kept)
 
-    if features:
-        feature_matrix = np.vstack(features)
+    if row_indices:  # augmentation only ever runs with labeled rows
+        n_prop = len(row_indices)
+        feature_matrix = np.empty(
+            (n_prop + n_augmented, unified.shape[1])
+        )
+        np.take(
+            unified,
+            np.asarray(row_indices, dtype=np.intp),
+            axis=0,
+            out=feature_matrix[:n_prop],
+        )
+        if aug_features is not None:
+            feature_matrix[n_prop:] = aug_features
         label_vector = np.concatenate(labels)
     else:
         feature_matrix = np.zeros((0, unified.shape[1]))

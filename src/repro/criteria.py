@@ -192,6 +192,69 @@ class Criterion:
             verdicts[j] = self._check_consumable(row, self._row_key(row))
         return verdicts[inverse]
 
+    def evaluate_values(
+        self,
+        values: Sequence[str],
+        rows: Sequence[Mapping[str, str]],
+    ) -> np.ndarray:
+        """Boolean pass-vector for ad-hoc ``(value, row-context)`` pairs.
+
+        The batch form of calling :meth:`check` on ``{**row, attr:
+        value}`` pair by pair — the :meth:`evaluate_column` unique-combo
+        fold applied to *ad-hoc* values (augmented training examples),
+        where no interned codes exist so the fold groups on the string
+        key itself.  The criterion runs once per distinct ``(value,
+        context...)`` key — on the key's first pair in input order, the
+        pair the per-value loop's first cache miss would have evaluated
+        — and shares its verdict cache with every other entry point, so
+        the scattered verdicts are bit-identical to the per-value loop.
+        """
+        if len(values) != len(rows):
+            raise CriteriaError("values and rows must align")
+        # Keys are built inline from (value, context cells) — the same
+        # tuple ``_row_key`` would produce for ``{**row, attr: value}``
+        # — so the per-pair cost is one tuple, not a dict copy; the
+        # full context dict is only materialised for each key's first
+        # pair (the one actually evaluated).  The no-context and
+        # single-context shapes cover nearly every LLM-emitted
+        # criterion, so they skip the inner generator.
+        attr = self.attr
+        ctx = self.context_attrs
+        if not ctx:
+            keys = [(value,) for value in values]
+        elif len(ctx) == 1 and ctx[0] != attr:
+            a0 = ctx[0]
+            keys = [
+                (value, row.get(a0, ""))
+                for value, row in zip(values, rows)
+            ]
+        else:
+            keys = [
+                (value,)
+                + tuple(
+                    value if a == attr else row.get(a, "") for a in ctx
+                )
+                for value, row in zip(values, rows)
+            ]
+        inverse = np.empty(len(values), dtype=np.intp)
+        slots: dict[tuple, int] = {}
+        firsts: list[int] = []
+        for pos, key in enumerate(keys):
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(firsts)
+                slots[key] = slot
+                firsts.append(pos)
+            inverse[pos] = slot
+        verdicts = np.empty(len(firsts), dtype=bool)
+        for j, pos in enumerate(firsts):
+            # Fresh dicts built here, so no defensive copy is needed
+            # before handing them to the compiled function.
+            context = dict(rows[pos])
+            context[attr] = values[pos]
+            verdicts[j] = self._check_consumable(context, keys[pos])
+        return verdicts[inverse]
+
     def accuracy_on(self, rows: Sequence[Mapping[str, str]]) -> float:
         """Fraction of ``rows`` this criterion accepts (pass rate)."""
         if not rows:

@@ -10,6 +10,7 @@ request kind so benchmarks can break costs down by pipeline stage.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -43,22 +44,34 @@ class TokenUsage:
 
 @dataclass
 class TokenLedger:
-    """Accumulates token usage per request kind and overall."""
+    """Accumulates token usage per request kind and overall.
+
+    ``record`` is guarded by a lock: per-attribute pipeline stages may
+    issue LLM requests from worker threads (``config.n_jobs > 1``), and
+    the read-modify-write totals must not lose increments.  The sums
+    are order-independent, so parallel stages report the same token
+    counts as serial ones.
+    """
 
     total: TokenUsage = field(default_factory=TokenUsage)
     by_kind: dict[str, TokenUsage] = field(default_factory=dict)
     n_requests: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, kind: str, input_tokens: int, output_tokens: int) -> None:
         usage = TokenUsage(input_tokens, output_tokens)
-        self.total.add(usage)
-        self.by_kind.setdefault(kind, TokenUsage()).add(usage)
-        self.n_requests += 1
+        with self._lock:
+            self.total.add(usage)
+            self.by_kind.setdefault(kind, TokenUsage()).add(usage)
+            self.n_requests += 1
 
     def reset(self) -> None:
-        self.total = TokenUsage()
-        self.by_kind = {}
-        self.n_requests = 0
+        with self._lock:
+            self.total = TokenUsage()
+            self.by_kind = {}
+            self.n_requests = 0
 
     def summary(self) -> dict[str, int]:
         return {

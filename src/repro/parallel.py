@@ -1,0 +1,88 @@
+"""Deterministic parallel execution of per-attribute stages.
+
+The pipeline's three dominant stages — Step-2 sampling, Step-3
+verification + training-data assembly, and Step-4 detector
+train/predict — are *per-attribute independent*: every task is a pure
+function of ``(table, config.seed, attr)`` whose randomness comes from
+``ml.rng.spawn(seed, f"stage/{attr}")``, so no task reads another
+task's output.  This module fans such stages across a thread pool and
+collects results in attribute order.
+
+Threads, not processes: the workers are NumPy/BLAS-bound (GEMMs release
+the GIL) and share large read-only state — the table, its interned
+column encodings, the feature-space base-matrix cache — that processes
+would have to pickle per worker.  Callers pre-warm any *lazily built*
+shared caches serially before fanning out (see
+``core/pipeline.py``), so workers only read them; the remaining shared
+writes are idempotent memoizations of pure functions (same key, same
+value), which cannot change results regardless of interleaving.
+
+Determinism contract: for any ``n_jobs`` — including the default
+``n_jobs=1``, which runs a plain serial loop, bit-for-bit the
+historical code path — results are identical because per-attribute
+seeds never depend on execution order and ``parallel_map`` returns
+results in input order.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_jobs(n_jobs: int, n_items: int | None = None) -> int:
+    """Concrete worker count for a requested ``n_jobs``.
+
+    ``-1`` means one worker per CPU core; any other value must be
+    >= 1.  The result is clamped to ``n_items`` (no point spawning
+    idle workers) and never below 1.
+    """
+    if n_jobs == -1:
+        n_jobs = os.cpu_count() or 1
+    elif n_jobs < 1:
+        raise ConfigError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    if n_items is not None:
+        n_jobs = min(n_jobs, n_items)
+    return max(1, n_jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: int = 1,
+) -> list[R]:
+    """``[fn(item) for item in items]``, optionally across threads.
+
+    Results come back in input order whatever the completion order
+    (order-stable collection), and a worker exception propagates to the
+    caller as it would from the serial loop.  With an effective job
+    count of 1 this *is* the serial loop — no executor, no queueing —
+    so the default path stays bit-for-bit the historical one.
+    """
+    items = list(items)
+    jobs = effective_jobs(n_jobs, len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+def parallel_attr_map(
+    fn: Callable[[str], R],
+    attrs: Sequence[str],
+    n_jobs: int = 1,
+) -> dict[str, R]:
+    """Per-attribute fan-out collected into an attr-keyed dict.
+
+    Insertion order follows ``attrs`` (pipeline consumers iterate these
+    dicts, and downstream RNG draws depend on that order), regardless
+    of which worker finishes first.
+    """
+    return dict(zip(attrs, parallel_map(fn, attrs, n_jobs)))

@@ -1,0 +1,76 @@
+"""Retained per-value reference for Step-3 assembly (pre-PR 4).
+
+Verbatim copy of the augmentation filter + featurisation loop that
+``assemble_training_data`` ran before the batched
+``Criterion.evaluate_values`` / ``FeatureSpace.unified_rows`` rewrite,
+so the batch path can be pinned against the historical per-value
+behaviour: identical kept candidates (same order) and bitwise-identical
+feature vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reference_context_row(table, i, attr, correlated):
+    row = {attr: table.cell(i, attr)}
+    for q in correlated:
+        row[q] = table.cell(i, q)
+    return row
+
+
+def reference_augment_vectors(
+    table,
+    attr,
+    feature_space,
+    check_criteria,
+    generated,
+    source_rows,
+    correlated,
+):
+    """The seed per-value filter/featurise loop (Algorithm 1 line 27).
+
+    Returns ``(aug_vectors, kept_values)``: the per-value unified
+    vectors of the surviving augmented examples, in generation order,
+    plus the surviving values themselves.
+    """
+    col = table.column_view(attr)
+    featurizer = feature_space.featurizers[attr]
+    rare = max(2, round(0.002 * table.n_rows))
+    aug_vectors = []
+    kept_values = []
+    for value, src in zip(generated, source_rows):
+        if value == col[src]:
+            continue
+        row = reference_context_row(table, src, attr, correlated)
+        row[attr] = value
+        fails_criterion = any(not c.check(row) for c in check_criteria)
+        is_rare = featurizer.stats.value_counts.get(value, 0) <= rare
+        if not fails_criterion and not is_rare:
+            continue
+        aug_vectors.append(
+            feature_space.unified_vector(attr, value, row, src)
+        )
+        kept_values.append(value)
+    return aug_vectors, kept_values
+
+
+def reference_unified_vectors(feature_space, attr, values, rows, row_indices):
+    """Per-pair ``unified_vector`` calls, stacked (the pre-batch path)."""
+    return np.stack(
+        [
+            feature_space.unified_vector(attr, value, dict(row), src)
+            for value, row, src in zip(values, rows, row_indices)
+        ]
+    )
+
+
+def reference_evaluate_values(criterion, values, rows):
+    """Per-pair ``Criterion.check`` calls (the pre-batch path)."""
+    out = np.empty(len(values), dtype=bool)
+    for i, (value, row) in enumerate(zip(values, rows)):
+        context = dict(row)
+        context[criterion.attr] = value
+        out[i] = criterion.check(context)
+    return out
