@@ -1,0 +1,248 @@
+"""Benchmark: the serving subsystem (fit once, score many).
+
+Measures, per dataset slice:
+
+* ``fit_s`` — the LLM-guided training phase (``ZeroED.fit``);
+* ``detect_s`` — full single-shot detection (= fit + the training
+  table's prediction pass, which is exactly what ``detect`` runs);
+* ``save_s`` / ``load_s`` / ``artifact_bytes`` — artifact round-trip;
+* ``score_s`` / ``rows_per_s`` — *warm* ``BatchScorer.score_table`` on
+  a fresh copy of the table (cold encodings, warm criteria/embedding
+  caches — the steady-state serving cost), best of three;
+* ``speedup_vs_detect`` — detect_s / score_s (the ≥10x acceptance
+  figure at the 10k Tax slice);
+* service round-trip: single-row latency (median of 15) and a
+  256-row batch POST against a live ``ScoringService`` on an
+  ephemeral port, with the response checked against the batch
+  scorer's flags.
+
+Writes ``BENCH_serving.json``.  ``--smoke`` runs a small Hospital
+slice and **fails** (exit 1) when the warm scoring path regresses
+more than 2x against its recorded baseline (hardware-normalised by
+the shared GEMM calibration), when the loaded artifact's masks
+diverge from the in-memory scorer's, when scoring touches the LLM,
+or when the service response disagrees with the batch scorer — the
+CI gate for the serving layer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+import urllib.request
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+from _common import calibrate_gemm_s
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import make_dataset
+from repro.serving.scorer import BatchScorer
+from repro.serving.service import ScoringService
+
+#: Warm-scoring cost of the smoke slice (hospital/400) divided by
+#: ``calibrate_gemm_s()`` on the recording machine; the smoke gate
+#: fails on >2x regression in calibration units, the same pattern as
+#: the sampling/step34 gates.
+SCORE_BASELINE_SMOKE_UNITS = 0.8
+SMOKE_REGRESSION_FACTOR = 2.0
+
+#: The acceptance slice: warm scoring must beat full detect by >=10x
+#: here (recorded as ``speedup_vs_detect``).
+FULL_CASES = [("tax", 10_000)]
+SMOKE_CASES = [("hospital", 400)]
+
+
+def _fresh_copy(table):
+    """A content-equal table with cold encodings/pair-stat caches."""
+    copy = table.copy()
+    copy.name = table.name
+    return copy
+
+
+def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]:
+    failures: list[str] = []
+    data = make_dataset(dataset, n_rows=n_rows, seed=0)
+    table = data.dirty
+    config = ZeroEDConfig(
+        seed=0, sampling_engine="auto", detector_engine="auto"
+    )
+    zeroed = ZeroED(config)
+    out: dict = {
+        "dataset": dataset,
+        "n_rows": table.n_rows,
+        "n_attributes": table.n_attributes,
+    }
+
+    # --- fit + the training-table prediction pass (= detect) ----------
+    t0 = time.perf_counter()
+    fitted = zeroed.fit(table)
+    out["fit_s"] = round(time.perf_counter() - t0, 4)
+    t0 = time.perf_counter()
+    detect_result = fitted.score(table)
+    predict_s = time.perf_counter() - t0
+    out["detect_s"] = round(out["fit_s"] + predict_s, 4)
+    out["engines"] = detect_result.details["engines"]
+    out["llm_requests_fit"] = fitted.ledger_summary["requests"]
+
+    # --- artifact round-trip -------------------------------------------
+    with TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        path = fitted.save(Path(tmp) / "artifact")
+        out["save_s"] = round(time.perf_counter() - t0, 4)
+        out["artifact_bytes"] = sum(
+            f.stat().st_size for f in path.iterdir()
+        )
+        t0 = time.perf_counter()
+        scorer = BatchScorer.from_artifact(path)
+        out["load_s"] = round(time.perf_counter() - t0, 4)
+
+    # --- warm scoring throughput ---------------------------------------
+    requests_before = fitted.llm.ledger.summary()["requests"]
+    scorer.score_table(_fresh_copy(table))  # warm criteria/embedding caches
+    best = np.inf
+    for _ in range(3):
+        fresh = _fresh_copy(table)
+        t0 = time.perf_counter()
+        result = scorer.score_table(fresh)
+        best = min(best, time.perf_counter() - t0)
+    out["score_s"] = round(best, 4)
+    out["rows_per_s"] = round(table.n_rows / best, 1)
+    out["speedup_vs_detect"] = round(out["detect_s"] / best, 1)
+    out["llm_calls_during_scoring"] = (
+        fitted.llm.ledger.summary()["requests"] - requests_before
+    )
+    if out["llm_calls_during_scoring"] != 0:
+        failures.append("warm scoring issued LLM calls")
+
+    # --- loaded-vs-in-memory equality ----------------------------------
+    in_memory = fitted.scorer().score_table(_fresh_copy(table))
+    out["roundtrip_masks_equal"] = bool(
+        np.array_equal(in_memory.mask.matrix, result.mask.matrix)
+    )
+    if not out["roundtrip_masks_equal"]:
+        failures.append("loaded artifact masks diverge from in-memory scorer")
+    prf = result.score(data.mask)
+    out["scored_prf"] = {
+        "precision": round(prf.precision, 3),
+        "recall": round(prf.recall, 3),
+        "f1": round(prf.f1, 3),
+    }
+
+    # --- service round-trip --------------------------------------------
+    service = ScoringService(scorer, port=0).start()
+    try:
+        batch_rows = [table.row(i) for i in range(min(256, table.n_rows))]
+        expected = scorer.score_rows(batch_rows).mask.matrix.tolist()
+        t0 = time.perf_counter()
+        payload = _post(service.url + "/score", {"rows": batch_rows})
+        out["service_batch_roundtrip_s"] = round(time.perf_counter() - t0, 4)
+        out["service_mask_matches"] = payload["flags"] == expected
+        if not out["service_mask_matches"]:
+            failures.append("service response diverges from BatchScorer")
+        latencies = []
+        single = [table.row(0)]
+        for _ in range(15):
+            t0 = time.perf_counter()
+            _post(service.url + "/score", {"rows": single})
+            latencies.append(time.perf_counter() - t0)
+        out["service_single_row_median_s"] = round(
+            statistics.median(latencies), 5
+        )
+    finally:
+        service.stop()
+
+    # --- hardware-normalised smoke gate --------------------------------
+    if smoke:
+        calib = calibrate_gemm_s()
+        out["gemm_calibration_s"] = round(calib, 4)
+        out["score_units"] = round(out["score_s"] / calib, 2)
+        out["score_units_vs_baseline"] = round(
+            out["score_units"] / SCORE_BASELINE_SMOKE_UNITS, 2
+        )
+        if out["score_units_vs_baseline"] > SMOKE_REGRESSION_FACTOR:
+            failures.append(
+                f"warm scoring {out['score_units_vs_baseline']}x its "
+                "recorded baseline (hardware-normalised)"
+            )
+    return out, failures
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small slice only; exit 1 on round-trip/equality/LLM-call "
+        "failures or >2x warm-scoring regression (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_serving.json",
+    )
+    args = parser.parse_args()
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = {
+        "protocol": (
+            "per slice: ZeroED.fit timed, detect_s = fit + training-table "
+            "prediction, artifact save/load timed, warm BatchScorer."
+            "score_table on fresh table copies (best of 3, zero LLM "
+            "calls), loaded-vs-in-memory mask equality, and a live "
+            "ScoringService round-trip (single-row median + 256-row "
+            "batch, response checked against the batch scorer)"
+        ),
+        "cases": {},
+    }
+    all_failures: list[str] = []
+    for dataset, n_rows in cases:
+        entry, failures = bench_case(dataset, n_rows, smoke=args.smoke)
+        results["cases"][f"{dataset}/{n_rows}"] = entry
+        all_failures.extend(failures)
+        line = (
+            f"{dataset}/{n_rows}: detect {entry['detect_s']}s, "
+            f"save {entry['save_s']}s, load {entry['load_s']}s, "
+            f"warm score {entry['score_s']}s "
+            f"({entry['rows_per_s']} rows/s, "
+            f"{entry['speedup_vs_detect']}x vs detect), "
+            f"service single-row {entry['service_single_row_median_s']}s"
+        )
+        if "score_units_vs_baseline" in entry:
+            line += (
+                f" [{entry['score_units_vs_baseline']}x vs baseline, "
+                "hardware-normalised]"
+            )
+        print(line)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.smoke and all_failures:
+        for failure in all_failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

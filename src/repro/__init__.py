@@ -18,8 +18,9 @@ Quickstart::
 from repro.version import __version__
 
 from repro.config import ZeroEDConfig
-from repro.core.pipeline import ZeroED
+from repro.core.pipeline import FittedZeroED, ZeroED
 from repro.core.result import DetectionResult
+from repro.serving import BatchScorer, DetectorArtifact, ScoringService
 from repro.data import (
     COMPARISON_DATASETS,
     ErrorMask,
@@ -33,9 +34,13 @@ from repro.llm import LLMClient, SimulatedLLM, TokenLedger
 from repro.ml import PRF, precision_recall_f1, score_masks
 
 __all__ = [
+    "BatchScorer",
     "COMPARISON_DATASETS",
     "DetectionResult",
+    "DetectorArtifact",
     "ErrorMask",
+    "FittedZeroED",
+    "ScoringService",
     "ErrorProfile",
     "ErrorType",
     "LLMClient",

@@ -6,6 +6,9 @@ Subcommands::
     repro generate beers out/ [--rows N] write dirty/clean/mask to disk
     repro detect beers [--method zeroed] run a detector, print P/R/F1
     repro detect-csv dirty.csv           detect on your own CSV
+    repro fit beers --artifact-out art/  train once, persist the detector
+    repro score-csv new.csv --artifact art/   warm-score unseen rows
+    repro serve --artifact art/          HTTP scoring service
     repro compare [--datasets a,b] ...   Table III-style grid
     repro repair beers                   detect then suggest repairs
 
@@ -36,6 +39,59 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_engine_flags(
+    parser: argparse.ArgumentParser, *, engines: bool = True
+) -> None:
+    """The shared execution flags (one definition, every subcommand).
+
+    ``--sampling-engine`` / ``--detector-engine`` / ``--jobs`` used to
+    be duplicated (with drifting help text) between ``detect`` and
+    ``detect-csv``; ``fit``, ``repair`` and — jobs only, its engines
+    come from the artifact — ``score-csv`` reuse them too.
+    """
+    if engines:
+        parser.add_argument(
+            "--sampling-engine", default="exact",
+            choices=SAMPLING_ENGINE_CHOICES,
+            help="Step-2 clustering engine: 'exact' (reproducible "
+                 "reference masks), 'fast' (mini-batch k-means, >=5x "
+                 "faster on 10k+ rows, masks may shift within the "
+                 "recorded tolerance band), or 'auto' (fast at >=2k "
+                 "rows, exact below)")
+        parser.add_argument(
+            "--detector-engine", default="exact",
+            choices=DETECTOR_ENGINE_CHOICES,
+            help="Step-4 MLP engine: 'exact' (float64, reproducible "
+                 "reference masks), 'fast' (float32 train/predict over "
+                 "unique feature rows, masks may shift within the "
+                 "recorded tolerance band), or 'auto' (fast at >=2k "
+                 "rows, exact below)")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker threads for the per-attribute stages (sampling, "
+             "verification+assembly, detector train/predict, scoring); "
+             "-1 = one per CPU core; masks are byte-identical for "
+             "every value (default: 1)")
+
+
+def _add_zeroed_flags(parser: argparse.ArgumentParser) -> None:
+    """The common ZeroED model knobs (LLM profile + label budget)."""
+    parser.add_argument("--llm", default="qwen2.5-72b", help="LLM profile")
+    parser.add_argument("--label-rate", type=float, default=0.05)
+
+
+def _zeroed_config(args) -> ZeroEDConfig:
+    """A ZeroEDConfig from the shared flag set."""
+    return ZeroEDConfig(
+        seed=args.seed,
+        llm_model=getattr(args, "llm", "qwen2.5-72b"),
+        label_rate=getattr(args, "label_rate", 0.05),
+        sampling_engine=args.sampling_engine,
+        detector_engine=args.detector_engine,
+        n_jobs=args.jobs,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,50 +109,55 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("detect", help="run a detector on a benchmark")
     p.add_argument("dataset", choices=dataset_names())
     p.add_argument("--method", default="zeroed", choices=METHODS)
-    p.add_argument("--llm", default="qwen2.5-72b", help="LLM profile")
-    p.add_argument("--label-rate", type=float, default=0.05)
-    p.add_argument("--sampling-engine", default="exact",
-                   choices=SAMPLING_ENGINE_CHOICES,
-                   help="Step-2 clustering engine: 'exact' (reproducible "
-                        "reference masks), 'fast' (mini-batch k-means, "
-                        ">=5x faster on 10k+ rows, masks may shift within "
-                        "the recorded tolerance band), or 'auto' (fast at "
-                        ">=2k rows, exact below)")
-    p.add_argument("--detector-engine", default="exact",
-                   choices=DETECTOR_ENGINE_CHOICES,
-                   help="Step-4 MLP engine: 'exact' (float64, reproducible "
-                        "reference masks), 'fast' (float32 train/predict "
-                        "over unique feature rows, masks may shift within "
-                        "the recorded tolerance band), or 'auto' (fast at "
-                        ">=2k rows, exact below)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker threads for the per-attribute stages "
-                        "(sampling, verification+assembly, detector "
-                        "train/predict); -1 = one per CPU core; masks are "
-                        "byte-identical for every value (default: 1)")
+    _add_zeroed_flags(p)
+    _add_engine_flags(p)
     p.add_argument("--mask-out", default=None,
                    help="write the predicted mask JSON here")
     _add_common(p)
 
     p = sub.add_parser("detect-csv", help="run ZeroED on your own CSV")
     p.add_argument("csv", help="path to a dirty CSV file")
-    p.add_argument("--label-rate", type=float, default=0.05)
-    p.add_argument("--sampling-engine", default="exact",
-                   choices=SAMPLING_ENGINE_CHOICES,
-                   help="Step-2 clustering engine: 'exact' (reproducible "
-                        "reference masks), 'fast' (mini-batch k-means, "
-                        ">=5x faster on 10k+ rows), or 'auto' (fast at "
-                        ">=2k rows)")
-    p.add_argument("--detector-engine", default="exact",
-                   choices=DETECTOR_ENGINE_CHOICES,
-                   help="Step-4 MLP engine: 'exact' (float64 reference "
-                        "masks), 'fast' (float32 over unique rows), or "
-                        "'auto' (fast at >=2k rows)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker threads for per-attribute stages; -1 = one "
-                        "per CPU core (masks identical for every value)")
+    _add_zeroed_flags(p)
+    _add_engine_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--mask-out", default=None)
+
+    p = sub.add_parser(
+        "fit",
+        help="train ZeroED once and persist the detector artifact",
+    )
+    p.add_argument("dataset", nargs="?", choices=dataset_names(),
+                   help="benchmark dataset to fit on (or use --csv)")
+    p.add_argument("--csv", default=None,
+                   help="fit on your own dirty CSV instead of a benchmark")
+    p.add_argument("--artifact-out", required=True,
+                   help="directory for the saved detector artifact "
+                        "(manifest.json + arrays.npz)")
+    _add_zeroed_flags(p)
+    _add_engine_flags(p)
+    _add_common(p)
+
+    p = sub.add_parser(
+        "score-csv",
+        help="score a CSV with a fitted artifact (no LLM, no sampling)",
+    )
+    p.add_argument("csv", help="path to the CSV to score")
+    p.add_argument("--artifact", required=True,
+                   help="detector artifact directory written by "
+                        "'repro fit --artifact-out'")
+    _add_engine_flags(p, engines=False)
+    p.add_argument("--mask-out", default=None)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP scoring service over a fitted artifact",
+    )
+    p.add_argument("--artifact", required=True,
+                   help="detector artifact directory to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8537,
+                   help="listen port (0 picks a free one)")
+    _add_engine_flags(p, engines=False)
 
     p = sub.add_parser("compare", help="method x dataset comparison grid")
     p.add_argument("--datasets", default=",".join(COMPARISON_DATASETS))
@@ -107,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", choices=dataset_names())
     p.add_argument("--limit", type=int, default=20,
                    help="show at most this many suggestions")
+    p.add_argument("--artifact", default=None,
+                   help="reuse a fitted detector artifact for the "
+                        "detection pass instead of refitting")
+    _add_zeroed_flags(p)
+    _add_engine_flags(p)
     _add_common(p)
     return parser
 
@@ -128,12 +194,7 @@ def cmd_generate(args) -> int:
 
 
 def cmd_detect(args) -> int:
-    config = ZeroEDConfig(
-        seed=args.seed, llm_model=args.llm, label_rate=args.label_rate,
-        sampling_engine=args.sampling_engine,
-        detector_engine=args.detector_engine,
-        n_jobs=args.jobs,
-    )
+    config = _zeroed_config(args)
     run = run_method(
         args.method, args.dataset, n_rows=args.rows, seed=args.seed,
         llm_model=args.llm, zeroed_config=config,
@@ -148,13 +209,7 @@ def cmd_detect(args) -> int:
 
 def cmd_detect_csv(args) -> int:
     table = read_csv(args.csv)
-    config = ZeroEDConfig(
-        seed=args.seed, label_rate=args.label_rate,
-        sampling_engine=args.sampling_engine,
-        detector_engine=args.detector_engine,
-        n_jobs=args.jobs,
-    )
-    result = ZeroED(config).detect(table)
+    result = ZeroED(_zeroed_config(args)).detect(table)
     n = result.mask.error_count()
     print(f"flagged {n} cells "
           f"({100 * result.mask.error_rate():.2f}% of {table.shape})")
@@ -163,6 +218,65 @@ def cmd_detect_csv(args) -> int:
     if args.mask_out:
         write_mask(result.mask, args.mask_out)
         print(f"mask written to {args.mask_out}")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    if (args.dataset is None) == (args.csv is None):
+        print("fit needs exactly one of: a dataset name, or --csv",
+              file=sys.stderr)
+        return 2
+    if args.csv is not None:
+        table = read_csv(args.csv)
+        if args.rows is not None:
+            table = table.head(args.rows)
+    else:
+        table = get_dataset(args.dataset).make(
+            n_rows=args.rows, seed=args.seed
+        ).dirty
+    fitted = ZeroED(_zeroed_config(args)).fit(table)
+    path = fitted.save(args.artifact_out)
+    ledger = fitted.ledger_summary
+    print(f"fitted on {table.name} ({table.n_rows} rows x "
+          f"{table.n_attributes} attrs; {ledger['requests']} LLM requests, "
+          f"tokens {ledger['input_tokens']}/{ledger['output_tokens']})")
+    print(f"artifact written to {path}/")
+    return 0
+
+
+def cmd_score_csv(args) -> int:
+    from repro.serving.scorer import BatchScorer
+
+    scorer = BatchScorer.from_artifact(args.artifact, n_jobs=args.jobs)
+    table = read_csv(args.csv)
+    result = scorer.score_table(table)
+    n = result.mask.error_count()
+    print(f"flagged {n} cells "
+          f"({100 * result.mask.error_rate():.2f}% of {table.shape}) "
+          f"in {result.total_seconds:.2f}s, zero LLM calls")
+    for i, attr in result.mask.error_cells()[:20]:
+        print(f"  ({i}, {attr}) -> {table.cell(i, attr)!r}")
+    if args.mask_out:
+        write_mask(result.mask, args.mask_out)
+        print(f"mask written to {args.mask_out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serving.service import ScoringService
+
+    service = ScoringService.from_artifact(
+        args.artifact, n_jobs=args.jobs, host=args.host, port=args.port
+    )
+    info = service.scorer.info
+    print(f"serving artifact for {info.get('dataset')!r} "
+          f"({info.get('train_rows')} training rows) on {service.url}")
+    print("endpoints: POST /score  GET /healthz  GET /artifact")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        service.stop()
     return 0
 
 
@@ -183,15 +297,21 @@ def cmd_compare(args) -> int:
 
 def cmd_repair(args) -> int:
     data = get_dataset(args.dataset).make(n_rows=args.rows, seed=args.seed)
-    result = ZeroED(seed=args.seed).detect(data.dirty)
+    if args.artifact:
+        from repro.serving.scorer import BatchScorer
+
+        scorer = BatchScorer.from_artifact(args.artifact, n_jobs=args.jobs)
+        mask = scorer.score_table(data.dirty).mask
+    else:
+        mask = ZeroED(_zeroed_config(args)).detect(data.dirty).mask
     suggester = RepairSuggester(data.dirty)
-    suggestions = suggester.suggest(result.mask)
+    suggestions = suggester.suggest(mask)
     correct = sum(
         1 for s in suggestions
         if s.suggestion == data.clean.cell(s.row, s.attr)
     )
     print(f"{len(suggestions)} suggestions for "
-          f"{result.mask.error_count()} flagged cells; "
+          f"{mask.error_count()} flagged cells; "
           f"{correct} match the ground truth exactly")
     for s in suggestions[: args.limit]:
         print(f"  {s}")
@@ -203,6 +323,9 @@ _COMMANDS = {
     "generate": cmd_generate,
     "detect": cmd_detect,
     "detect-csv": cmd_detect_csv,
+    "fit": cmd_fit,
+    "score-csv": cmd_score_csv,
+    "serve": cmd_serve,
     "compare": cmd_compare,
     "repair": cmd_repair,
 }

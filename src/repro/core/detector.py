@@ -147,6 +147,82 @@ class ErrorDetector:
             self._models[attr] = model
         return self
 
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str | None:
+        """Concrete engine resolved at fit time (None before fit)."""
+        return self._engine
+
+    def with_config(self, config: ZeroEDConfig) -> "ErrorDetector":
+        """A fitted view of this detector under a different config.
+
+        Shares the per-attribute models and resolved engine; only the
+        execution knobs prediction reads from ``config`` (``n_jobs``,
+        ``decision_threshold``) change.  The sanctioned way to rebind a
+        fitted detector — callers must not reach into ``_models``.
+        """
+        clone = ErrorDetector(config)
+        clone._engine = self._engine
+        clone._models = self._models
+        return clone
+
+    def export_models(self) -> dict[str, dict]:
+        """Per-attribute fitted state as plain arrays/scalars.
+
+        The serialization channel for detector artifacts: each entry is
+        either ``{"kind": "constant", "constant": bool}`` (degenerate
+        training data) or ``{"kind": "mlp", "flat": vector,
+        "n_features": d, "scaler_mean": ..., "scaler_scale": ...}``.
+        :meth:`from_models` restores a bitwise-identical detector.
+        """
+        if not self._models:
+            raise NotFittedError("ErrorDetector.export_models before fit")
+        out: dict[str, dict] = {}
+        for attr, model in self._models.items():
+            if model.constant is not None:
+                out[attr] = {"kind": "constant", "constant": model.constant}
+            else:
+                out[attr] = {
+                    "kind": "mlp",
+                    "flat": model.mlp.export_flat_params(),
+                    "n_features": model.mlp.n_features_,
+                    "scaler_mean": model.scaler.mean_.copy(),
+                    "scaler_scale": model.scaler.scale_.copy(),
+                }
+        return out
+
+    @classmethod
+    def from_models(
+        cls,
+        config: ZeroEDConfig,
+        engine: str,
+        models: dict[str, dict],
+    ) -> "ErrorDetector":
+        """Rebuild a fitted detector from :meth:`export_models` output."""
+        detector = cls(config)
+        detector._engine = engine
+        for attr, state in models.items():
+            if state["kind"] == "constant":
+                detector._models[attr] = _AttributeModel(
+                    scaler=None, mlp=None, constant=bool(state["constant"])
+                )
+                continue
+            mlp = MLPClassifier(
+                hidden=config.mlp_hidden,
+                epochs=config.mlp_epochs,
+                lr=config.mlp_lr,
+                seed=spawn(config.seed, f"mlp/{attr}"),
+                engine=engine,
+            )
+            mlp.load_flat_params(state["flat"], int(state["n_features"]))
+            scaler = StandardScaler()
+            scaler.mean_ = np.asarray(state["scaler_mean"], dtype=float)
+            scaler.scale_ = np.asarray(state["scaler_scale"], dtype=float)
+            detector._models[attr] = _AttributeModel(
+                scaler=scaler, mlp=mlp, constant=None
+            )
+        return detector
+
     def _fit_attribute(
         self, attr: str, data: AttributeTrainingData
     ) -> _AttributeModel:

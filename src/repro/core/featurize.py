@@ -93,6 +93,73 @@ class AttributeFeaturizer:
                 denom = enc_q.counts[enc_q.codes].astype(float)
                 self._vicinity_fast[q] = counts[inverse] / denom
 
+    @classmethod
+    def from_frozen(
+        cls,
+        attr: str,
+        value_counts: Mapping[str, int],
+        n_rows: int,
+        correlated: list[str],
+        vicinity: Mapping[str, tuple[Mapping, Mapping]],
+        embedding: SubwordHashEmbedding | None,
+        criteria: list[Criterion],
+        config: ZeroEDConfig,
+    ) -> "AttributeFeaturizer":
+        """Rebuild a featurizer from frozen training statistics.
+
+        The serving path: no training table exists, only the facts a
+        fitted featurizer derived from one — the value frequency table,
+        the training row count, and the string-keyed vicinity lookup
+        dicts (``q -> (pair_counts, lhs_counts)``).  The result
+        featurizes *foreign* tables and ad-hoc values exactly like the
+        original featurizer does (the original also falls back to the
+        string-keyed vicinity tables whenever a table's encodings are
+        not the construction table's own), so scores are bit-identical.
+        """
+        self = cls.__new__(cls)
+        self.attr = attr
+        stats = AttributeStats(attr=attr, n_rows=n_rows)
+        stats.value_counts = Counter(dict(value_counts))
+        self.stats = stats
+        self.correlated = list(correlated)
+        self.embedding = embedding
+        self.criteria = list(criteria)
+        self.config = config
+        self._n_rows = n_rows
+        counters: tuple[Counter, Counter, Counter] = (
+            Counter(), Counter(), Counter(),
+        )
+        for value, count in stats.value_counts.items():
+            for counter, pattern in zip(counters, all_levels(value)):
+                counter[pattern] += count
+        self._pattern_counts = list(counters)
+        # No construction-table encodings exist, so the whole-column
+        # vicinity fast path can never trigger (`enc_a is self._enc_a`
+        # short-circuits on None) and every evaluation routes through
+        # the string-keyed `_vicinity` tables.  `_vicinity_joint` keeps
+        # the vicinity attribute *order* (it drives column layout) with
+        # placeholder values that the fast path never dereferences.
+        self._enc_a = None
+        self._vicinity_joint = {q: None for q in vicinity}
+        self._vicinity_fast = {}
+        self._vicinity_dicts = {
+            q: (dict(pair_counts), dict(lhs_counts))
+            for q, (pair_counts, lhs_counts) in vicinity.items()
+        }
+        return self
+
+    def export_frozen(self) -> dict:
+        """The statistics :meth:`from_frozen` needs, as plain dicts."""
+        return {
+            "value_counts": dict(self.stats.value_counts),
+            "n_rows": self._n_rows,
+            "correlated": list(self.correlated),
+            "vicinity": {
+                q: (dict(pair_counts), dict(lhs_counts))
+                for q, (pair_counts, lhs_counts) in self._vicinity.items()
+            },
+        }
+
     @property
     def _vicinity(self) -> dict[str, tuple[dict, dict]]:
         """String-keyed vicinity tables ``q -> (pair_counts, lhs_counts)``.

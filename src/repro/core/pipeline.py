@@ -6,12 +6,30 @@ mutual verification, and detector training/prediction — with per-stage
 timing and token accounting.  Every stochastic component derives from
 ``config.seed``; two runs with the same config, data and LLM backend
 produce identical masks.
+
+The pipeline is split into a train-once / score-many pair (the serving
+subsystem, PR 5):
+
+* :meth:`ZeroED.fit` runs the expensive LLM-guided phase (Steps 1-4 up
+  to detector training) and returns a :class:`FittedZeroED`;
+* :meth:`FittedZeroED.score` applies the fitted per-attribute detectors
+  to a table — the training table itself (byte-identical to the
+  historical single-shot path) or *unseen* rows featurized against the
+  frozen training statistics, with zero LLM calls;
+* :meth:`ZeroED.detect` is fit-then-score, masks byte-identical to the
+  pre-split implementation (hash-pinned in
+  ``tests/test_feature_equivalence.py``).
+
+:meth:`FittedZeroED.save` persists everything scoring needs as a
+versioned on-disk artifact (:mod:`repro.serving.artifact`), reloadable
+by :class:`repro.serving.scorer.BatchScorer` in a fresh process.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+from pathlib import Path
 
 from repro.config import ZeroEDConfig
 from repro.core.correlation import correlated_attributes
@@ -22,7 +40,11 @@ from repro.core.guidelines import build_guideline
 from repro.core.labeling import label_representatives
 from repro.core.result import DetectionResult, StageInfo
 from repro.core.sampling import SamplingResult, sample_representatives
-from repro.core.training_data import assemble_training_data, verify_attribute
+from repro.core.training_data import (
+    AttributeTrainingData,
+    assemble_training_data,
+    verify_attribute,
+)
 from repro.data.stats import compute_all_stats
 from repro.data.table import Table
 from repro.llm.client import LLMClient
@@ -68,7 +90,18 @@ class ZeroED:
 
     # ------------------------------------------------------------------
     def detect(self, table: Table) -> DetectionResult:
-        """Detect errors in every cell of ``table``."""
+        """Detect errors in every cell of ``table`` (fit then score)."""
+        return self.fit(table).score(table)
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table) -> "FittedZeroED":
+        """Run the LLM-guided training phase (Steps 1-4) on ``table``.
+
+        Everything expensive happens here — criteria reasoning,
+        representative sampling, holistic labeling, mutual verification,
+        augmentation, and MLP training.  The returned
+        :class:`FittedZeroED` scores tables without further LLM calls.
+        """
         config = self.config
         # 'auto' engines resolve against this table's row count once,
         # up front: 'fast' at/above the ~2k-row crossover, 'exact'
@@ -240,13 +273,10 @@ class ZeroED:
 
         training = run_stage("training_data", do_training_data)
 
-        # --- Step 4: detector training and prediction ------------------
+        # --- Step 4: detector training ----------------------------------
         detector = run_stage(
             "train_detector",
             lambda: ErrorDetector(config).fit(training, feature_space),
-        )
-        mask = run_stage(
-            "predict", lambda: detector.predict(table, feature_space)
         )
 
         details["n_sampled"] = {
@@ -262,7 +292,74 @@ class ZeroED:
             }
             for attr, t in training.items()
         }
-        ledger = self.llm.ledger.summary()
+        return FittedZeroED(
+            config=config,
+            llm=self.llm,
+            table=table,
+            feature_space=feature_space,
+            detector=detector,
+            training=training,
+            stages=stages,
+            details=details,
+            ledger_summary=self.llm.ledger.summary(),
+        )
+
+
+class FittedZeroED:
+    """A trained ZeroED pipeline: per-attribute detectors plus the
+    frozen feature statistics needed to score tables without any LLM.
+
+    Produced by :meth:`ZeroED.fit`.  Scoring the training table reuses
+    the fit-time feature space (byte-identical masks to the historical
+    ``detect``); any other table is featurized against the frozen
+    training statistics through :class:`repro.serving.scorer.BatchScorer`.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: ZeroEDConfig,
+        llm: LLMClient,
+        table: Table,
+        feature_space: FeatureSpace,
+        detector: ErrorDetector,
+        training: dict[str, AttributeTrainingData],
+        stages: list[StageInfo],
+        details: dict,
+        ledger_summary: dict,
+    ) -> None:
+        self.config = config
+        self.llm = llm
+        self.table = table
+        self.feature_space = feature_space
+        self.detector = detector
+        self.training = training
+        self.stages = stages
+        self.details = details
+        self.ledger_summary = ledger_summary
+
+    @property
+    def attributes(self) -> list[str]:
+        """Schema the detectors were fitted on (scoring requires it)."""
+        return self.table.attributes
+
+    # ------------------------------------------------------------------
+    def score(self, table: Table) -> DetectionResult:
+        """Score every cell of ``table`` with the fitted detectors.
+
+        The training table itself goes through the fit-time feature
+        space — one detector prediction pass, byte-identical to the
+        single-shot ``detect`` masks.  Any other table routes through
+        :meth:`scorer`, which featurizes its values against the frozen
+        training statistics (zero LLM calls, no sampling).
+        """
+        if table is not self.table:
+            return self.scorer().score_table(table)
+        start = time.perf_counter()
+        mask = self.detector.predict(table, self.feature_space)
+        elapsed = time.perf_counter() - start
+        stages = list(self.stages) + [StageInfo("predict", elapsed, 0, 0)]
+        ledger = self.ledger_summary
         return DetectionResult(
             mask=mask,
             dataset=table.name,
@@ -271,8 +368,30 @@ class ZeroED:
             n_llm_requests=ledger["requests"],
             input_tokens=ledger["input_tokens"],
             output_tokens=ledger["output_tokens"],
-            details=details,
+            details=dict(self.details),
         )
+
+    # ------------------------------------------------------------------
+    def scorer(self, n_jobs: int | None = None):
+        """A :class:`~repro.serving.scorer.BatchScorer` over this fit.
+
+        Shares the live featurizers and detector (no disk round-trip);
+        bitwise-equal to a scorer loaded from :meth:`save`'s artifact.
+        """
+        from repro.serving.scorer import BatchScorer
+
+        return BatchScorer.from_fitted(self, n_jobs=n_jobs)
+
+    def save(self, path: str | Path) -> Path:
+        """Persist this fit as a versioned on-disk detector artifact.
+
+        Writes ``manifest.json`` + ``arrays.npz`` under ``path`` (see
+        :mod:`repro.serving.artifact`); reload with
+        :meth:`repro.serving.scorer.BatchScorer.from_artifact`.
+        """
+        from repro.serving.artifact import DetectorArtifact
+
+        return DetectorArtifact.from_fitted(self).save(path)
 
 
 def _context_row(

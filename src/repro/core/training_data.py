@@ -44,6 +44,10 @@ class VerificationOutcome:
     attr: str
     propagated: dict[int, int]
     refined_criteria: list[Criterion] = field(default_factory=list)
+    criteria_accuracies: dict[str, float] = field(default_factory=dict)
+    """Accuracy on right-labeled data per *kept* criterion (by name) —
+    the trust signal serving artifacts persist alongside the source."""
+
     n_propagated: int = 0
     n_removed: int = 0
     n_criteria_kept: int = 0
@@ -66,6 +70,7 @@ class AttributeTrainingData:
     n_criteria_kept: int = 0
     n_criteria_dropped: int = 0
     refined_criteria: list[Criterion] = field(default_factory=list)
+    criteria_accuracies: dict[str, float] = field(default_factory=dict)
 
 
 def propagate_labels(
@@ -266,6 +271,7 @@ def verify_attribute(
         accuracy = float(verdicts.mean()) if right_idx else 0.0
         if accuracy >= config.criteria_accuracy_threshold:
             refined.append(crit)
+            outcome.criteria_accuracies[crit.name] = accuracy
             outcome.n_criteria_kept += 1
             if accuracy >= config.data_verify_accuracy:
                 trusted_verdicts.append(verdicts)
@@ -438,6 +444,7 @@ def assemble_training_data(
         n_criteria_kept=outcome.n_criteria_kept,
         n_criteria_dropped=outcome.n_criteria_dropped,
         refined_criteria=outcome.refined_criteria,
+        criteria_accuracies=dict(outcome.criteria_accuracies),
     )
 
 

@@ -34,3 +34,7 @@ class CriteriaError(ReproError):
 
 class NotFittedError(ReproError):
     """A model method requiring a fitted state was called before fitting."""
+
+
+class ArtifactError(ReproError):
+    """A detector artifact is corrupted, tampered, or incompatible."""

@@ -109,6 +109,8 @@ class MLPClassifier:
         self._dtype = np.float64 if engine == "exact" else np.float32
         self._rng = as_generator(seed)
         self._params: dict[str, np.ndarray] | None = None
+        self._flat: np.ndarray | None = None
+        self.n_features_: int | None = None
         self.loss_history_: list[float] = []
 
     # ------------------------------------------------------------------
@@ -205,6 +207,8 @@ class MLPClassifier:
                 if stale >= self.patience:
                     break
         self._params = views
+        self._flat = flat
+        self.n_features_ = d
         return self
 
     def predict_proba(
@@ -255,6 +259,38 @@ class MLPClassifier:
 
     def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         return self.predict_proba(x) >= threshold
+
+    # ------------------------------------------------------------------
+    def export_flat_params(self) -> np.ndarray:
+        """The trained parameters as one flat vector (a copy).
+
+        The serialization channel for detector artifacts: together with
+        ``n_features_`` and the constructor hyperparameters it restores
+        a bitwise-identical model via :meth:`load_flat_params`.
+        """
+        if self._flat is None:
+            raise NotFittedError("export_flat_params before fit")
+        return self._flat.copy()
+
+    def load_flat_params(self, flat: np.ndarray, n_features: int) -> "MLPClassifier":
+        """Adopt a flat parameter vector exported by a trained model.
+
+        The vector is copied into this model's dtype; a size mismatch
+        against ``(n_features, hidden)`` raises ``ValueError`` (the
+        artifact layer wraps it in ``ArtifactError``).
+        """
+        d, h = int(n_features), self.hidden
+        expected = d * h + h + h * h + h + h + 1
+        flat = np.asarray(flat)
+        if flat.ndim != 1 or flat.size != expected:
+            raise ValueError(
+                f"flat parameter vector has {flat.size} entries, expected "
+                f"{expected} for n_features={d}, hidden={h}"
+            )
+        self._flat = np.array(flat, dtype=self._dtype)  # always a copy
+        self._params = _views_into(self._flat, d, h)
+        self.n_features_ = d
+        return self
 
     # ------------------------------------------------------------------
     def _init_flat_params(

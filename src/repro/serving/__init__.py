@@ -1,0 +1,29 @@
+"""Serving subsystem: persistent detector artifacts + warm scoring.
+
+The train-once / score-many layer over the ZeroED pipeline (PR 5):
+
+* :mod:`repro.serving.artifact` — versioned, tamper-evident on-disk
+  ``DetectorArtifact`` (``manifest.json`` + ``arrays.npz``);
+* :mod:`repro.serving.scorer` — :class:`BatchScorer`, featurizing
+  unseen tables/rows against frozen training statistics with zero LLM
+  calls;
+* :mod:`repro.serving.service` — :class:`ScoringService`, a stdlib
+  ``ThreadingHTTPServer`` JSON API with micro-batched request handling.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    DetectorArtifact,
+)
+from repro.serving.scorer import BatchScorer, FrozenFeatureSpace
+from repro.serving.service import ScoringService
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "BatchScorer",
+    "DetectorArtifact",
+    "FrozenFeatureSpace",
+    "ScoringService",
+]

@@ -1,0 +1,411 @@
+"""Versioned on-disk detector artifacts (serving subsystem, PR 5).
+
+A fitted ZeroED pipeline is an expensive object to produce — criteria
+reasoning, representative sampling, holistic LLM labeling, mutual
+verification, MLP training — but a cheap one to *describe*: everything
+scoring needs is a handful of per-attribute facts.  An artifact
+captures exactly those facts in two files under one directory::
+
+    artifact/
+      manifest.json   structure: schema, config, engines, per-attribute
+                      criteria (source + accuracy), model kinds,
+                      embedding parameters, integrity checksum
+      arrays.npz      bulk data: value-frequency tables, vicinity
+                      pair/lhs counts, MLP flat parameter vectors,
+                      scaler statistics
+
+Design points:
+
+* **Versioned** — ``format``/``version`` fields gate loading; a future
+  incompatible layout bumps :data:`ARTIFACT_VERSION` and old readers
+  fail with a clean :class:`~repro.errors.ArtifactError` instead of
+  garbage scores.
+* **Integrity-checked** — the manifest records the SHA-256 of
+  ``arrays.npz`` and a fingerprint of the schema; checksum or
+  fingerprint mismatches, unreadable JSON, pickled arrays, and
+  non-compiling criteria all raise :class:`ArtifactError`.  These are
+  *corruption* checks (truncated copies, bit rot, mismatched file
+  pairs), **not** an authentication boundary: the checksums are
+  unkeyed, and restoring an artifact compiles its criteria sources
+  (in the restricted :mod:`repro.criteria` namespace), so load
+  artifacts only from sources you trust, exactly as you would a
+  pickle.
+* **Bitwise-faithful** — MLP parameters and scaler statistics are
+  stored at full precision in their training dtype, and the frozen
+  featurizer statistics restore the exact lookup tables the live
+  featurizer consults on foreign tables, so a reloaded
+  :class:`~repro.serving.scorer.BatchScorer` reproduces the in-memory
+  scorer's masks bit for bit (pinned in ``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ZeroEDConfig
+from repro.core.detector import ErrorDetector
+from repro.core.featurize import AttributeFeaturizer
+from repro.criteria import Criterion
+from repro.errors import ArtifactError, ReproError
+from repro.text.embeddings import SubwordHashEmbedding
+from repro.version import __version__
+
+ARTIFACT_FORMAT = "zeroed-detector-artifact"
+ARTIFACT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+
+def schema_fingerprint(attributes: list[str]) -> str:
+    """Stable fingerprint of an attribute schema (order-sensitive)."""
+    joined = "\x1f".join(attributes)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def _str_array(values: list[str]) -> np.ndarray:
+    if not values:
+        return np.zeros(0, dtype="<U1")
+    return np.asarray(values, dtype=np.str_)
+
+
+@dataclass
+class RestoredState:
+    """Everything a scorer needs, rebuilt from an artifact."""
+
+    config: ZeroEDConfig
+    engine: str
+    detector: ErrorDetector
+    featurizers: dict[str, AttributeFeaturizer]
+    correlated: dict[str, list[str]]
+    attributes: list[str]
+    llm_model: str
+    train_rows: int
+    info: dict
+
+
+class DetectorArtifact:
+    """In-memory form of one saved (or about-to-be-saved) artifact.
+
+    ``manifest`` holds the JSON-serialisable structure; ``arrays`` maps
+    flat keys (``a{i}_...``, indexed by attribute position) to NumPy
+    arrays destined for ``arrays.npz``.
+    """
+
+    def __init__(self, manifest: dict, arrays: dict[str, np.ndarray]) -> None:
+        self.manifest = manifest
+        self.arrays = arrays
+
+    # ------------------------------------------------------------------
+    # Construction from a fitted pipeline
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fitted(cls, fitted) -> "DetectorArtifact":
+        """Capture a :class:`~repro.core.pipeline.FittedZeroED`."""
+        config = fitted.config
+        attributes = fitted.attributes
+        arrays: dict[str, np.ndarray] = {}
+        per_attribute: list[dict] = []
+        models = fitted.detector.export_models()
+        for i, attr in enumerate(attributes):
+            featurizer = fitted.feature_space.featurizers[attr]
+            frozen = featurizer.export_frozen()
+            values = list(frozen["value_counts"])
+            arrays[f"a{i}_values"] = _str_array(values)
+            arrays[f"a{i}_counts"] = np.asarray(
+                [frozen["value_counts"][v] for v in values], dtype=np.int64
+            )
+            vicinity_attrs = list(frozen["vicinity"])
+            for j, q in enumerate(vicinity_attrs):
+                pair_counts, lhs_counts = frozen["vicinity"][q]
+                pairs = list(pair_counts)
+                arrays[f"a{i}_v{j}_pair_lhs"] = _str_array(
+                    [p[0] for p in pairs]
+                )
+                arrays[f"a{i}_v{j}_pair_rhs"] = _str_array(
+                    [p[1] for p in pairs]
+                )
+                arrays[f"a{i}_v{j}_pair_count"] = np.asarray(
+                    [pair_counts[p] for p in pairs], dtype=np.int64
+                )
+                lhs_values = list(lhs_counts)
+                arrays[f"a{i}_v{j}_lhs_values"] = _str_array(lhs_values)
+                arrays[f"a{i}_v{j}_lhs_counts"] = np.asarray(
+                    [lhs_counts[v] for v in lhs_values], dtype=np.int64
+                )
+            accuracies = fitted.training[attr].criteria_accuracies
+            criteria_spec = [
+                {
+                    "name": crit.name,
+                    "source": crit.source,
+                    "context_attrs": list(crit.context_attrs),
+                    "accuracy": accuracies.get(crit.name),
+                }
+                for crit in featurizer.criteria
+            ]
+            model = models[attr]
+            if model["kind"] == "constant":
+                model_spec = {"kind": "constant", "constant": bool(model["constant"])}
+            else:
+                arrays[f"a{i}_mlp_flat"] = model["flat"]
+                arrays[f"a{i}_scaler_mean"] = model["scaler_mean"]
+                arrays[f"a{i}_scaler_scale"] = model["scaler_scale"]
+                model_spec = {
+                    "kind": "mlp",
+                    "n_features": int(model["n_features"]),
+                }
+            per_attribute.append(
+                {
+                    "name": attr,
+                    "correlated": list(frozen["correlated"]),
+                    "vicinity": vicinity_attrs,
+                    "n_rows": int(frozen["n_rows"]),
+                    "criteria": criteria_spec,
+                    "model": model_spec,
+                }
+            )
+        embedding = fitted.feature_space.embedding
+        manifest = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "created_at": time.time(),
+            "package_version": __version__,
+            "dataset": fitted.table.name,
+            "train_rows": fitted.table.n_rows,
+            "llm_model": fitted.llm.model_name,
+            "attributes": attributes,
+            "schema_fingerprint": schema_fingerprint(attributes),
+            "config": dataclasses.asdict(config),
+            "engines": {
+                "sampling": config.sampling_engine,
+                "detector": fitted.detector.engine,
+            },
+            "embedding": (
+                {
+                    "dim": embedding.dim,
+                    "n_buckets": embedding.n_buckets,
+                    "seed": config.seed,
+                }
+                if embedding is not None
+                else None
+            ),
+            "per_attribute": per_attribute,
+        }
+        return cls(manifest, arrays)
+
+    # ------------------------------------------------------------------
+    # Disk round-trip
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write ``manifest.json`` + ``arrays.npz`` under ``path``."""
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        np.savez(buffer, **self.arrays)
+        payload = buffer.getvalue()
+        (directory / ARRAYS_NAME).write_bytes(payload)
+        manifest = dict(self.manifest)
+        manifest["arrays_sha256"] = hashlib.sha256(payload).hexdigest()
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        self.manifest = manifest
+        return directory
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DetectorArtifact":
+        """Read and integrity-check an artifact directory.
+
+        Raises :class:`ArtifactError` for anything short of a pristine
+        artifact: missing files, invalid JSON, unknown format, a
+        version this reader does not understand, a schema fingerprint
+        that does not match the manifest's attribute list, or an
+        ``arrays.npz`` whose checksum disagrees with the manifest.
+
+        The checks catch corruption, not malice (see the module
+        docstring): only load artifacts you trust — restoring one
+        compiles its stored criteria sources.
+        """
+        directory = Path(path)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise ArtifactError(f"{directory} has no {MANIFEST_NAME}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactError(
+                f"{manifest_path} is not a valid manifest: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ArtifactError(f"{manifest_path} is not a JSON object")
+        if manifest.get("format") != ARTIFACT_FORMAT:
+            raise ArtifactError(
+                f"{directory} is not a {ARTIFACT_FORMAT} "
+                f"(format={manifest.get('format')!r})"
+            )
+        if manifest.get("version") != ARTIFACT_VERSION:
+            raise ArtifactError(
+                f"artifact version {manifest.get('version')!r} is not "
+                f"supported by this reader (expected {ARTIFACT_VERSION})"
+            )
+        attributes = manifest.get("attributes")
+        if not isinstance(attributes, list) or not attributes:
+            raise ArtifactError(f"{manifest_path} has no attribute schema")
+        if manifest.get("schema_fingerprint") != schema_fingerprint(attributes):
+            raise ArtifactError(
+                f"{manifest_path}: schema fingerprint does not match the "
+                "attribute list (manifest tampered?)"
+            )
+        arrays_path = directory / ARRAYS_NAME
+        if not arrays_path.is_file():
+            raise ArtifactError(f"{directory} has no {ARRAYS_NAME}")
+        payload = arrays_path.read_bytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != manifest.get("arrays_sha256"):
+            raise ArtifactError(
+                f"{arrays_path}: checksum mismatch (tampered or truncated)"
+            )
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+                arrays = {key: data[key] for key in data.files}
+        except (OSError, ValueError, KeyError) as exc:
+            raise ArtifactError(
+                f"{arrays_path} is not a valid array bundle: {exc}"
+            ) from exc
+        return cls(manifest, arrays)
+
+    # ------------------------------------------------------------------
+    # Restoration
+    # ------------------------------------------------------------------
+    def restore(self) -> RestoredState:
+        """Rebuild featurizers and detector from this artifact.
+
+        Structural problems — a config that fails validation, criteria
+        sources that no longer compile, missing or misshapen arrays —
+        surface as :class:`ArtifactError`.
+        """
+        manifest = self.manifest
+        try:
+            return self._restore()
+        except ArtifactError:
+            raise
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"artifact for {manifest.get('dataset', '?')!r} could not "
+                f"be restored: {exc}"
+            ) from exc
+
+    def _restore(self) -> RestoredState:
+        manifest = self.manifest
+        arrays = self.arrays
+        config = ZeroEDConfig(**manifest["config"])
+        engine = manifest["engines"]["detector"]
+        attributes = list(manifest["attributes"])
+        embedding_spec = manifest.get("embedding")
+        embedding = (
+            SubwordHashEmbedding.shared(
+                dim=int(embedding_spec["dim"]),
+                n_buckets=int(embedding_spec["n_buckets"]),
+                seed=int(embedding_spec["seed"]),
+            )
+            if embedding_spec is not None and config.use_semantic_features
+            else None
+        )
+        featurizers: dict[str, AttributeFeaturizer] = {}
+        correlated: dict[str, list[str]] = {}
+        models: dict[str, dict] = {}
+        per_attribute = manifest["per_attribute"]
+        if len(per_attribute) != len(attributes):
+            raise ArtifactError(
+                "per-attribute entries do not align with the schema"
+            )
+        for i, (attr, spec) in enumerate(zip(attributes, per_attribute)):
+            if spec["name"] != attr:
+                raise ArtifactError(
+                    f"per-attribute entry {i} names {spec['name']!r}, "
+                    f"schema says {attr!r}"
+                )
+            criteria = [
+                Criterion.from_spec(
+                    attr,
+                    {
+                        "name": c["name"],
+                        "source": c["source"],
+                        "context_attrs": c.get("context_attrs", []),
+                    },
+                )
+                for c in spec["criteria"]
+            ]
+            values = arrays[f"a{i}_values"].tolist()
+            counts = arrays[f"a{i}_counts"].tolist()
+            vicinity: dict[str, tuple[dict, dict]] = {}
+            for j, q in enumerate(spec["vicinity"]):
+                pair_lhs = arrays[f"a{i}_v{j}_pair_lhs"].tolist()
+                pair_rhs = arrays[f"a{i}_v{j}_pair_rhs"].tolist()
+                pair_count = arrays[f"a{i}_v{j}_pair_count"].tolist()
+                lhs_values = arrays[f"a{i}_v{j}_lhs_values"].tolist()
+                lhs_counts = arrays[f"a{i}_v{j}_lhs_counts"].tolist()
+                vicinity[q] = (
+                    dict(zip(zip(pair_lhs, pair_rhs), pair_count)),
+                    dict(zip(lhs_values, lhs_counts)),
+                )
+            correlated[attr] = list(spec["correlated"])
+            featurizers[attr] = AttributeFeaturizer.from_frozen(
+                attr=attr,
+                value_counts=dict(zip(values, counts)),
+                n_rows=int(spec["n_rows"]),
+                correlated=correlated[attr],
+                vicinity=vicinity,
+                embedding=embedding,
+                criteria=criteria,
+                config=config,
+            )
+            model_spec = spec["model"]
+            if model_spec["kind"] == "constant":
+                models[attr] = {
+                    "kind": "constant",
+                    "constant": bool(model_spec["constant"]),
+                }
+            elif model_spec["kind"] == "mlp":
+                models[attr] = {
+                    "kind": "mlp",
+                    "flat": arrays[f"a{i}_mlp_flat"],
+                    "n_features": int(model_spec["n_features"]),
+                    "scaler_mean": arrays[f"a{i}_scaler_mean"],
+                    "scaler_scale": arrays[f"a{i}_scaler_scale"],
+                }
+            else:
+                raise ArtifactError(
+                    f"unknown model kind {model_spec['kind']!r} for "
+                    f"attribute {attr!r}"
+                )
+        detector = ErrorDetector.from_models(config, engine, models)
+        info = {
+            "format": manifest["format"],
+            "version": manifest["version"],
+            "dataset": manifest.get("dataset"),
+            "train_rows": manifest.get("train_rows"),
+            "llm_model": manifest.get("llm_model"),
+            "attributes": attributes,
+            "engines": manifest["engines"],
+            "package_version": manifest.get("package_version"),
+            "created_at": manifest.get("created_at"),
+        }
+        return RestoredState(
+            config=config,
+            engine=engine,
+            detector=detector,
+            featurizers=featurizers,
+            correlated=correlated,
+            attributes=attributes,
+            llm_model=str(manifest.get("llm_model", "unknown")),
+            train_rows=int(manifest.get("train_rows", 0)),
+            info=info,
+        )

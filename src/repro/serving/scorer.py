@@ -1,0 +1,237 @@
+"""Warm batch scoring against a fitted detector (serving subsystem).
+
+:class:`BatchScorer` applies a trained ZeroED fit — live
+(:meth:`~repro.core.pipeline.FittedZeroED.scorer`) or reloaded from a
+disk artifact (:meth:`BatchScorer.from_artifact`) — to tables and row
+batches the fit never saw.  The path is deliberately narrow:
+
+* **zero LLM calls, no sampling** — scoring consumes only frozen
+  facts: value-frequency tables, vicinity lookup dicts, compiled
+  criteria, trained MLP parameters;
+* **unique-value folds** — featurization routes through the same
+  interned fast paths the pipeline uses (``base_matrix`` computes
+  frequency/pattern/embedding features once per distinct value and
+  criteria once per distinct (value, context) combo, scattering by the
+  score table's column codes), and the fast detector engine runs one
+  MLP forward pass per unique feature row;
+* **per-attribute fan-out** — base matrices and detector prediction
+  fan across ``config.n_jobs`` workers through :mod:`repro.parallel`,
+  with the shared caches (encodings, base matrices) pre-warmed
+  serially, the same determinism contract as the pipeline.
+
+A scorer built from a saved-then-loaded artifact produces masks
+bitwise equal to the in-memory scorer — and, scoring the training
+table, to ``ZeroED.detect`` itself (pinned in
+``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ZeroEDConfig
+from repro.core.detector import ErrorDetector
+from repro.core.featurize import AttributeFeaturizer
+from repro.core.result import DetectionResult, StageInfo
+from repro.data.table import Table
+from repro.errors import ArtifactError
+from repro.parallel import parallel_attr_map
+
+
+class FrozenFeatureSpace:
+    """A feature space over *frozen* featurizers and a score table.
+
+    Shaped like :class:`~repro.core.featurize.FeatureSpace` for the
+    consumers prediction needs (``base_matrix`` / ``unified_matrix`` /
+    ``featurizers`` / ``correlated`` / ``config``), but built from a
+    fitted pipeline's featurizers instead of from the table itself:
+    every statistic comes from training time, the table only says which
+    rows carry which values.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        featurizers: dict[str, AttributeFeaturizer],
+        correlated: dict[str, list[str]],
+        config: ZeroEDConfig,
+    ) -> None:
+        self.table = table
+        self.featurizers = featurizers
+        self.correlated = correlated
+        self.config = config
+        self._base_cache: dict[str, np.ndarray] = {}
+
+    def base_matrix(self, attr: str) -> np.ndarray:
+        cached = self._base_cache.get(attr)
+        if cached is None:
+            cached = self.featurizers[attr].base_matrix(self.table)
+            self._base_cache[attr] = cached
+        return cached
+
+    def unified_matrix(self, attr: str) -> np.ndarray:
+        parts = [self.base_matrix(attr)]
+        if self.config.use_correlated_features:
+            for q in self.correlated.get(attr, []):
+                parts.append(self.base_matrix(q))
+        return np.hstack(parts)
+
+
+class BatchScorer:
+    """Score unseen tables/rows with a fitted detector, LLM-free."""
+
+    def __init__(
+        self,
+        *,
+        config: ZeroEDConfig,
+        detector: ErrorDetector,
+        featurizers: dict[str, AttributeFeaturizer],
+        correlated: dict[str, list[str]],
+        attributes: list[str],
+        llm_model: str = "unknown",
+        train_rows: int = 0,
+        info: dict | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
+        if n_jobs is not None:
+            config = dataclasses.replace(config, n_jobs=n_jobs)
+            # predict() reads its jobs count from detector.config; give
+            # the scorer a fitted view under the overridden config so
+            # the caller's detector (and the fitted pipeline behind
+            # it) keeps its own setting.
+            detector = detector.with_config(config)
+        self.config = config
+        self.detector = detector
+        self.featurizers = featurizers
+        self.correlated = correlated
+        self.attributes = list(attributes)
+        self.llm_model = llm_model
+        self.train_rows = train_rows
+        self.info = info or {
+            "dataset": None,
+            "train_rows": train_rows,
+            "llm_model": llm_model,
+            "attributes": self.attributes,
+            "engines": {"detector": detector.engine},
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_fitted(cls, fitted, n_jobs: int | None = None) -> "BatchScorer":
+        """Wrap a live :class:`~repro.core.pipeline.FittedZeroED`."""
+        return cls(
+            config=fitted.config,
+            detector=fitted.detector,
+            featurizers=dict(fitted.feature_space.featurizers),
+            correlated=dict(fitted.feature_space.correlated),
+            attributes=fitted.attributes,
+            llm_model=fitted.llm.model_name,
+            train_rows=fitted.table.n_rows,
+            n_jobs=n_jobs,
+        )
+
+    @classmethod
+    def from_artifact(
+        cls, path: str | Path, n_jobs: int | None = None
+    ) -> "BatchScorer":
+        """Load a saved artifact directory (integrity-checked)."""
+        from repro.serving.artifact import DetectorArtifact
+
+        state = DetectorArtifact.load(path).restore()
+        return cls(
+            config=state.config,
+            detector=state.detector,
+            featurizers=state.featurizers,
+            correlated=state.correlated,
+            attributes=state.attributes,
+            llm_model=state.llm_model,
+            train_rows=state.train_rows,
+            info=state.info,
+            n_jobs=n_jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def score_table(self, table: Table) -> DetectionResult:
+        """Score every cell of ``table`` against the fitted detectors.
+
+        ``table`` must carry the training schema (same attributes, same
+        order); anything else raises :class:`ArtifactError` — a scorer
+        has no way to featurize columns it was never fitted on.
+        """
+        if table.attributes != self.attributes:
+            raise ArtifactError(
+                f"schema mismatch: the detector was fitted on "
+                f"{self.attributes!r}, the table carries "
+                f"{table.attributes!r}"
+            )
+        start = time.perf_counter()
+        fs = FrozenFeatureSpace(
+            table, self.featurizers, self.correlated, self.config
+        )
+        # Pre-warm the shared lazy caches serially (column encodings,
+        # vicinity lookup dicts) so the fan-out below only reads them;
+        # base matrices are per-attribute independent after that.
+        for attr in self.attributes:
+            table.encoding(attr)
+        parallel_attr_map(fs.base_matrix, self.attributes, self.config.n_jobs)
+        featurize_s = time.perf_counter() - start
+        start = time.perf_counter()
+        mask = self.detector.predict(table, fs)
+        predict_s = time.perf_counter() - start
+        return DetectionResult(
+            mask=mask,
+            dataset=table.name,
+            method=f"zeroed-scorer[{self.llm_model}]",
+            stages=[
+                StageInfo("featurize", featurize_s, 0, 0),
+                StageInfo("predict", predict_s, 0, 0),
+            ],
+            details={
+                "engines": {"detector": self.detector.engine},
+                "n_jobs": self.config.n_jobs,
+                "train_rows": self.train_rows,
+                "serving": True,
+            },
+        )
+
+    def score_rows(
+        self, rows: Sequence[Mapping[str, str]], name: str = "rows"
+    ) -> DetectionResult:
+        """Score ad-hoc row dicts (the service's request payloads).
+
+        Missing attributes become empty cells (the pipeline's NULL
+        convention); unknown keys raise :class:`ArtifactError`.
+        """
+        return self.score_table(self.rows_to_table(rows, name=name))
+
+    def validate_rows(self, rows: Sequence[Mapping[str, str]]) -> None:
+        """Reject rows carrying attributes outside the fitted schema.
+
+        Shared by :meth:`rows_to_table` and the service's pre-enqueue
+        check (which must fail a bad request *before* it joins a
+        micro-batch and sinks its co-batched waiters).
+        """
+        valid = set(self.attributes)
+        for pos, row in enumerate(rows):
+            unknown = [k for k in row if k not in valid]
+            if unknown:
+                raise ArtifactError(
+                    f"row {pos} carries unknown attribute(s) {unknown!r}; "
+                    f"the detector was fitted on {self.attributes!r}"
+                )
+
+    def rows_to_table(
+        self, rows: Sequence[Mapping[str, str]], name: str = "rows"
+    ) -> Table:
+        """Build a schema-aligned :class:`Table` from row dicts."""
+        self.validate_rows(rows)
+        columns = {
+            attr: [row.get(attr, "") for row in rows]
+            for attr in self.attributes
+        }
+        return Table(self.attributes, columns, name=name)

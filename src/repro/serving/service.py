@@ -1,0 +1,299 @@
+"""A stdlib HTTP scoring service over a :class:`BatchScorer`.
+
+``ScoringService`` wraps a warm scorer in a ``ThreadingHTTPServer``
+JSON API:
+
+* ``POST /score`` — body ``{"rows": [{attr: value, ...}, ...]}``;
+  responds with the per-row boolean error flags in schema order.
+* ``GET /healthz`` — liveness plus serving counters.
+* ``GET /artifact`` — the loaded artifact's manifest summary (version,
+  schema, engines, training provenance).
+
+Requests are **micro-batched**: handler threads enqueue their rows and
+block; a single scoring worker drains whatever accumulated within a
+short linger window, scores it as *one* table (one featurization pass,
+one detector sweep — the per-row cost amortises exactly like the
+pipeline's columnar fast paths), and fans the per-row flags back to the
+waiting handlers.  Scoring is row-independent (every feature consults
+frozen training statistics, never the co-batched rows), so batching
+never changes a response — a single request's flags are bitwise the
+flags of any batch containing it (asserted in
+``tests/test_serving_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.errors import ArtifactError, ReproError
+from repro.serving.scorer import BatchScorer
+
+#: How long the batching worker lingers after the first queued request
+#: to let concurrent requests coalesce, and the row cap per batch.
+DEFAULT_LINGER_S = 0.002
+DEFAULT_MAX_BATCH_ROWS = 4096
+#: How long a handler thread waits for its batch to be scored.
+REQUEST_TIMEOUT_S = 120.0
+
+
+@dataclass
+class _Pending:
+    """One enqueued /score request awaiting its slice of a batch."""
+
+    rows: list[dict]
+    event: threading.Event = field(default_factory=threading.Event)
+    flags: list[list[bool]] | None = None
+    batched_with: int = 0
+    error: Exception | None = None
+
+
+class _MicroBatcher:
+    """Queue + worker that scores concurrent requests as one table."""
+
+    def __init__(
+        self,
+        scorer: BatchScorer,
+        linger_s: float = DEFAULT_LINGER_S,
+        max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+    ) -> None:
+        self._scorer = scorer
+        self._linger_s = linger_s
+        self._max_batch_rows = max_batch_rows
+        self._queue: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._stopped = False
+        self.n_batches = 0
+        self.n_rows = 0
+        self._worker = threading.Thread(
+            target=self._loop, name="score-batcher", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, rows: list[dict]) -> _Pending:
+        """Enqueue ``rows`` and block until their flags are ready."""
+        pending = _Pending(rows=rows)
+        with self._cond:
+            if self._stopped:
+                raise ReproError("scoring service is shut down")
+            self._queue.append(pending)
+            self._cond.notify_all()
+        if not pending.event.wait(REQUEST_TIMEOUT_S):
+            # Abandoned by its handler: drop it from the queue so the
+            # worker never scores rows nobody will read (if it already
+            # joined an in-flight batch, that batch finishes normally).
+            with self._cond:
+                try:
+                    self._queue.remove(pending)
+                except ValueError:
+                    pass
+            raise TimeoutError("scoring request timed out")
+        if pending.error is not None:
+            raise pending.error
+        return pending
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._worker.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> list[_Pending]:
+        """Block for the first request, linger briefly for company."""
+        with self._cond:
+            while not self._queue and not self._stopped:
+                self._cond.wait(0.1)
+            if self._stopped and not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+            total = len(batch[0].rows)
+            deadline = time.monotonic() + self._linger_s
+            while total < self._max_batch_rows:
+                if self._queue:
+                    nxt = self._queue.popleft()
+                    batch.append(nxt)
+                    total += len(nxt.rows)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                if not self._queue:
+                    break
+            return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                return
+            rows = [row for pending in batch for row in pending.rows]
+            try:
+                if rows:
+                    result = self._scorer.score_rows(rows, name="request")
+                    flags = result.mask.matrix
+                else:
+                    flags = None
+                offset = 0
+                for pending in batch:
+                    n = len(pending.rows)
+                    pending.flags = (
+                        flags[offset : offset + n].tolist() if n else []
+                    )
+                    pending.batched_with = len(rows)
+                    offset += n
+                self.n_batches += 1
+                self.n_rows += len(rows)
+            except Exception as exc:  # fan the failure to every waiter
+                for pending in batch:
+                    pending.error = exc
+            finally:
+                for pending in batch:
+                    pending.event.set()
+
+
+class ScoringService:
+    """HTTP serving front-end for one loaded detector artifact."""
+
+    def __init__(
+        self,
+        scorer: BatchScorer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        linger_s: float = DEFAULT_LINGER_S,
+        max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+    ) -> None:
+        self.scorer = scorer
+        self.started_at = time.time()
+        self.n_requests = 0
+        self._stats_lock = threading.Lock()
+        self._batcher = _MicroBatcher(
+            scorer, linger_s=linger_s, max_batch_rows=max_batch_rows
+        )
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(self)
+        )
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def from_artifact(
+        cls, path: str | Path, n_jobs: int | None = None, **kwargs
+    ) -> "ScoringService":
+        return cls(BatchScorer.from_artifact(path, n_jobs=n_jobs), **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ScoringService":
+        """Serve in a daemon thread (tests, embedding in other code)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="score-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._batcher.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def handle_score(self, payload: dict) -> dict:
+        """Validate one /score payload and run it through the batcher."""
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            raise ArtifactError('body must be {"rows": [{attr: value}, ...]}')
+        normalised = [
+            {str(k): "" if v is None else str(v) for k, v in row.items()}
+            for row in rows
+        ]
+        # Validate before enqueueing: a bad request must fail alone,
+        # not poison the micro-batch it would have joined.
+        self.scorer.validate_rows(normalised)
+        pending = self._batcher.submit(normalised)
+        return {
+            "attributes": self.scorer.attributes,
+            "flags": pending.flags,
+            "n_rows": len(normalised),
+            "batched_with": pending.batched_with,
+        }
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": self.n_requests,
+            "batches": self._batcher.n_batches,
+            "rows_scored": self._batcher.n_rows,
+        }
+
+
+def _make_handler(service: ScoringService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args) -> None:  # keep test output quiet
+            pass
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._send(200, service.health())
+            elif self.path == "/artifact":
+                self._send(200, service.scorer.info)
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/score":
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+                return
+            with service._stats_lock:
+                service.n_requests += 1
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(payload, dict):
+                    raise ArtifactError("body must be a JSON object")
+                self._send(200, service.handle_score(payload))
+            except json.JSONDecodeError as exc:
+                self._send(400, {"error": f"invalid JSON: {exc}"})
+            except ReproError as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # internal failure, still JSON
+                self._send(500, {"error": f"internal error: {exc}"})
+
+    return Handler

@@ -1,0 +1,184 @@
+"""PR 5 scoring service: HTTP endpoints + micro-batched handling.
+
+End-to-end over a real ``ThreadingHTTPServer`` on an ephemeral port:
+responses must equal :class:`BatchScorer`'s batch output bit for bit,
+concurrent requests must each get exactly their own rows' flags back
+(micro-batching never leaks or reorders), and malformed payloads come
+back as JSON errors with 4xx statuses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import get_dataset
+from repro.serving.scorer import BatchScorer
+from repro.serving.service import ScoringService
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return get_dataset("hospital").make(n_rows=120, seed=7)
+
+
+@pytest.fixture(scope="module")
+def scorer(hospital, tmp_path_factory) -> BatchScorer:
+    config = ZeroEDConfig(
+        label_rate=0.1,
+        mlp_epochs=8,
+        criteria_sample_size=20,
+        embedding_dim=8,
+        seed=0,
+    )
+    fitted = ZeroED(config).fit(hospital.dirty)
+    path = fitted.save(tmp_path_factory.mktemp("svc") / "artifact")
+    return BatchScorer.from_artifact(path)
+
+
+@pytest.fixture(scope="module")
+def service(scorer):
+    svc = ScoringService(scorer, port=0).start()
+    yield svc
+    svc.stop()
+
+
+def _post(url: str, payload) -> tuple[int, dict]:
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        status, payload = _get(service.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+
+    def test_artifact_info(self, service, scorer):
+        status, payload = _get(service.url + "/artifact")
+        assert status == 200
+        assert payload["attributes"] == scorer.attributes
+        assert payload["train_rows"] == 120
+        assert payload["version"] == 1
+
+    def test_unknown_path_404(self, service):
+        status, payload = _get(service.url + "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_score_matches_batch_scorer(self, service, scorer, hospital):
+        rows = [hospital.dirty.row(i) for i in range(30)]
+        status, payload = _post(service.url + "/score", {"rows": rows})
+        assert status == 200
+        assert payload["attributes"] == scorer.attributes
+        expected = scorer.score_rows(rows).mask.matrix.tolist()
+        assert payload["flags"] == expected
+        assert payload["n_rows"] == 30
+        assert payload["batched_with"] >= 30
+
+    def test_empty_rows(self, service):
+        status, payload = _post(service.url + "/score", {"rows": []})
+        assert status == 200
+        assert payload["flags"] == []
+        assert payload["n_rows"] == 0
+
+    def test_missing_attributes_are_null_cells(self, service, scorer):
+        attr = scorer.attributes[0]
+        status, payload = _post(
+            service.url + "/score", {"rows": [{attr: "something"}]}
+        )
+        assert status == 200
+        assert len(payload["flags"]) == 1
+        assert len(payload["flags"][0]) == len(scorer.attributes)
+
+
+class TestValidation:
+    def test_invalid_json(self, service):
+        status, payload = _post(service.url + "/score", b"{nope")
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_rows_must_be_list_of_objects(self, service):
+        status, payload = _post(service.url + "/score", {"rows": "nope"})
+        assert status == 400
+        status, payload = _post(service.url + "/score", {"rows": [1, 2]})
+        assert status == 400
+
+    def test_unknown_attribute_rejected(self, service):
+        status, payload = _post(
+            service.url + "/score", {"rows": [{"no_such_column": "x"}]}
+        )
+        assert status == 400
+        assert "unknown attribute" in payload["error"]
+
+    def test_post_to_unknown_path(self, service):
+        status, payload = _post(service.url + "/other", {"rows": []})
+        assert status == 404
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_each_get_their_own_flags(
+        self, service, scorer, hospital
+    ):
+        """Fire parallel single-row posts; every response must carry
+        exactly that row's flags (batching neither leaks nor reorders,
+        and scoring is row-independent so co-batching cannot change a
+        verdict)."""
+        table = hospital.dirty
+        indices = list(range(0, 40, 5))
+        expected = scorer.score_rows(
+            [table.row(i) for i in indices]
+        ).mask.matrix.tolist()
+        results: dict[int, dict] = {}
+        errors: list[Exception] = []
+
+        def worker(pos: int, i: int) -> None:
+            try:
+                status, payload = _post(
+                    service.url + "/score", {"rows": [table.row(i)]}
+                )
+                assert status == 200
+                results[pos] = payload
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(pos, i))
+            for pos, i in enumerate(indices)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == len(indices)
+        for pos in range(len(indices)):
+            assert results[pos]["flags"] == [expected[pos]]
+
+    def test_batch_counters_advance(self, service):
+        status, payload = _get(service.url + "/healthz")
+        assert status == 200
+        assert payload["batches"] >= 1
+        assert payload["rows_scored"] >= 1
