@@ -78,6 +78,26 @@ def main() -> None:
           f"{scored.total_seconds:.3f}s with zero LLM calls: "
           f"{score_masks(scored.mask, fresh_mask)}")
 
+    # 6. Fault tolerance against a real LLM API.  fit() wraps the
+    #    client in ResilientLLM automatically (retry/backoff, circuit
+    #    breaker, per-attribute degradation — see config knobs
+    #    llm_max_retries / llm_timeout_s / llm_breaker_threshold /
+    #    checkpoint_dir), but you can compose the wrapper yourself to
+    #    tune the policy or reuse it outside the pipeline:
+    #
+    #        from repro.llm import HTTPChatLLM, ResilientLLM, RetryPolicy
+    #        client = ResilientLLM(
+    #            HTTPChatLLM("http://localhost:8000/v1", "qwen2.5-7b"),
+    #            RetryPolicy(max_retries=3, timeout_s=60.0),
+    #        )
+    #        fitted = ZeroED(seed=0, llm=client).fit(data.dirty)
+    #        print(client.stats.summary())   # retries, failed calls,
+    #                                        # breaker opens, by kind
+    #
+    #    Attributes whose LLM stages exhausted all retries fall back
+    #    to pattern/frequency-only detection and are listed in
+    #    fitted.details["degraded_attrs"].
+
 
 if __name__ == "__main__":
     main()

@@ -78,10 +78,48 @@ def _add_zeroed_flags(parser: argparse.ArgumentParser) -> None:
     """The common ZeroED model knobs (LLM profile + label budget)."""
     parser.add_argument("--llm", default="qwen2.5-72b", help="LLM profile")
     parser.add_argument("--label-rate", type=float, default=0.05)
+    _add_resilience_flags(parser)
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs of the LLM phase (resilience layer)."""
+    group = parser.add_argument_group("LLM fault tolerance")
+    group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per LLM call beyond the first attempt "
+             "(default: 2; 0 disables retrying)")
+    group.add_argument(
+        "--llm-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock bound on each LLM call "
+             "(default: trust the client's transport timeout)")
+    group.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="consecutive failed attempts that open the circuit "
+             "breaker (default: 10; 0 disables the breaker)")
+    group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist every LLM response under DIR so an interrupted "
+             "fit resumes without re-spending tokens")
+    group.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail the fit on the first attribute whose LLM calls "
+             "exhaust their retries, instead of falling back to "
+             "pattern/frequency-only detection for that attribute")
 
 
 def _zeroed_config(args) -> ZeroEDConfig:
     """A ZeroEDConfig from the shared flag set."""
+    resilience = {}
+    if getattr(args, "retries", None) is not None:
+        resilience["llm_max_retries"] = args.retries
+    if getattr(args, "llm_timeout", None) is not None:
+        resilience["llm_timeout_s"] = args.llm_timeout
+    if getattr(args, "breaker_threshold", None) is not None:
+        resilience["llm_breaker_threshold"] = args.breaker_threshold
+    if getattr(args, "checkpoint_dir", None):
+        resilience["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "no_degrade", False):
+        resilience["degrade_on_failure"] = False
     return ZeroEDConfig(
         seed=args.seed,
         llm_model=getattr(args, "llm", "qwen2.5-72b"),
@@ -89,6 +127,7 @@ def _zeroed_config(args) -> ZeroEDConfig:
         sampling_engine=args.sampling_engine,
         detector_engine=args.detector_engine,
         n_jobs=args.jobs,
+        **resilience,
     )
 
 
@@ -157,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8537,
                    help="listen port (0 picks a free one)")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="socket read deadline per request; a stalled "
+                        "client is disconnected (default: 30)")
+    p.add_argument("--max-body-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="request-body cap; larger /score payloads get "
+                        "HTTP 413 (default: 8 MiB)")
     _add_engine_flags(p, engines=False)
 
     p = sub.add_parser("compare", help="method x dataset comparison grid")
@@ -235,6 +282,11 @@ def cmd_fit(args) -> int:
             n_rows=args.rows, seed=args.seed
         ).dirty
     fitted = ZeroED(_zeroed_config(args)).fit(table)
+    degraded = fitted.details.get("degraded_attrs") or {}
+    if degraded:
+        print(f"warning: {len(degraded)} attribute(s) fell back to "
+              f"statistical signals after exhausted LLM retries: "
+              f"{', '.join(sorted(degraded))}", file=sys.stderr)
     path = fitted.save(args.artifact_out)
     ledger = fitted.ledger_summary
     print(f"fitted on {table.name} ({table.n_rows} rows x "
@@ -265,12 +317,22 @@ def cmd_score_csv(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serving.service import ScoringService
 
+    hardening = {}
+    if args.read_timeout is not None:
+        hardening["read_timeout_s"] = args.read_timeout
+    if args.max_body_bytes is not None:
+        hardening["max_body_bytes"] = args.max_body_bytes
     service = ScoringService.from_artifact(
-        args.artifact, n_jobs=args.jobs, host=args.host, port=args.port
+        args.artifact, n_jobs=args.jobs, host=args.host, port=args.port,
+        **hardening,
     )
     info = service.scorer.info
     print(f"serving artifact for {info.get('dataset')!r} "
           f"({info.get('train_rows')} training rows) on {service.url}")
+    degraded = (info.get("resilience") or {}).get("degraded_attrs") or {}
+    if degraded:
+        print(f"note: {len(degraded)} attribute(s) were fitted degraded "
+              f"(see GET /healthz): {', '.join(sorted(degraded))}")
     print("endpoints: POST /score  GET /healthz  GET /artifact")
     try:
         service.serve_forever()

@@ -140,6 +140,41 @@ class ZeroEDConfig:
     llm_model: str = "qwen2.5-72b"
     """Profile name for the simulated backend (Table V)."""
 
+    # --- LLM fault tolerance (resilience layer) ---
+    llm_max_retries: int = 2
+    """Retries per LLM call beyond the first attempt (0 disables).
+    Transient failures only: timeouts, HTTP 408/429/5xx, malformed
+    replies; other 4xx fail immediately."""
+
+    llm_backoff_s: float = 0.5
+    """Base retry sleep; retry ``k`` waits ``base * 2**(k-1)`` (plus
+    deterministic seeded jitter), capped at ``llm_backoff_max_s``."""
+
+    llm_backoff_max_s: float = 30.0
+
+    llm_timeout_s: float | None = None
+    """Per-attempt wall-clock bound enforced by the resilience layer
+    (None trusts the client's own transport timeout)."""
+
+    llm_breaker_threshold: int = 10
+    """Consecutive failed attempts that open the circuit breaker
+    (fail-fast until the cooldown); 0 disables the breaker."""
+
+    llm_breaker_cooldown_s: float = 30.0
+
+    degrade_on_failure: bool = True
+    """Per-attribute graceful degradation: when an attribute's LLM
+    stage exhausts its retries, fall back to pattern/frequency-only
+    signals for that attribute (recorded in
+    ``result.details["degraded_attrs"]``) instead of aborting the fit.
+    False restores fail-fast: the first exhausted call raises."""
+
+    checkpoint_dir: str | None = None
+    """Directory for per-attribute fit checkpoints.  When set, every
+    LLM response is persisted as it arrives and an interrupted fit
+    rerun with the same table/seed/model resumes from disk without
+    re-spending tokens (see :mod:`repro.llm.checkpoint`)."""
+
     # --- execution ---
     n_jobs: int = 1
     """Worker threads for the per-attribute stages (Step-2 sampling,
@@ -185,6 +220,25 @@ class ZeroEDConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigError(f"{name}={value} outside [0, 1]")
+        if self.llm_max_retries < 0:
+            raise ConfigError(
+                f"llm_max_retries must be >= 0, got {self.llm_max_retries}"
+            )
+        for name in ("llm_backoff_s", "llm_backoff_max_s",
+                     "llm_breaker_cooldown_s"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+        if self.llm_timeout_s is not None and self.llm_timeout_s <= 0:
+            raise ConfigError(
+                f"llm_timeout_s must be positive or None, "
+                f"got {self.llm_timeout_s}"
+            )
+        if self.llm_breaker_threshold < 0:
+            raise ConfigError(
+                f"llm_breaker_threshold must be >= 0, "
+                f"got {self.llm_breaker_threshold}"
+            )
 
     def resolve_sampling_engine(self, n_rows: int) -> str:
         """Concrete Step-2 engine for a table of ``n_rows`` rows."""

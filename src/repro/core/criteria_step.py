@@ -8,9 +8,12 @@ objects and drive the binary criteria feature block.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.config import ZeroEDConfig
 from repro.criteria import Criterion, compile_criteria
 from repro.data.table import Table
+from repro.errors import LLMError
 from repro.llm.client import LLMClient, LLMRequest
 from repro.llm.prompts import CRITERIA_PROMPT, ERROR_DESCRIPTIONS, serialize_rows
 from repro.ml.rng import spawn
@@ -21,8 +24,19 @@ def generate_initial_criteria(
     table: Table,
     correlated: dict[str, list[str]],
     config: ZeroEDConfig,
+    on_failure: Callable[[str, LLMError], None] | None = None,
 ) -> dict[str, list[Criterion]]:
-    """LLM-derived criteria for every attribute of ``table``."""
+    """LLM-derived criteria for every attribute of ``table``.
+
+    ``on_failure`` enables per-attribute graceful degradation: when an
+    attribute's criteria request fails (retries already exhausted by
+    the resilience layer), the callback records it and the attribute
+    proceeds with an empty criteria set — its feature vector keeps the
+    statistical/pattern/semantic blocks.  Without the callback a
+    failure aborts, the historical behaviour.  Row samples are drawn
+    from one sequential stream either way, so the surviving
+    attributes' prompts are byte-identical to a failure-free run.
+    """
     rng = spawn(config.seed, "criteria/sample")
     n = table.n_rows
     sample_size = min(config.criteria_sample_size, n)
@@ -37,17 +51,24 @@ def generate_initial_criteria(
             error_descriptions=ERROR_DESCRIPTIONS,
             correlated=correlated.get(attr, []),
         )
-        response = llm.complete(
-            LLMRequest(
-                kind="criteria",
-                prompt=prompt,
-                payload={
-                    "dataset": table.name,
-                    "attr": attr,
-                    "sample_rows": rows,
-                    "correlated": correlated.get(attr, []),
-                },
+        try:
+            response = llm.complete(
+                LLMRequest(
+                    kind="criteria",
+                    prompt=prompt,
+                    payload={
+                        "dataset": table.name,
+                        "attr": attr,
+                        "sample_rows": rows,
+                        "correlated": correlated.get(attr, []),
+                    },
+                )
             )
-        )
+        except LLMError as exc:
+            if on_failure is None:
+                raise
+            on_failure(attr, exc)
+            out[attr] = []
+            continue
         out[attr] = compile_criteria(attr, response.payload or [])
     return out

@@ -1,0 +1,52 @@
+"""Pattern/frequency-only fallback labeling for degraded attributes.
+
+When every retry for an attribute's LLM labeling is exhausted, the
+pipeline does not abort the multi-minute fit — it labels that
+attribute's representatives from the table's own distribution facts
+(the :class:`~repro.data.stats.AttributeStats` Step 1 already
+computed) and lets the rest of the machinery (label propagation, MLP
+training, prediction) run unchanged.  The heuristic flags the classic
+statistical error signatures:
+
+* missing-value placeholders;
+* robust numeric outliers (MAD z-score + quantile span);
+* rare values whose *format* is also rare in the column (broken
+  patterns), excluding free-text columns where format rarity is
+  meaningless;
+* rare values a couple of edits away from a frequent value (typos).
+
+It is deliberately the LLM-free subset of the signals the labeling
+prompt exposes — strictly weaker than the model (no semantics, no
+cross-attribute reasoning), which is the honest shape of degradation:
+detection quality for the attribute drops toward a dboost-style
+statistical detector instead of dropping to zero.
+"""
+
+from __future__ import annotations
+
+from repro.data.errortypes import is_missing_placeholder
+from repro.data.stats import AttributeStats
+
+
+def heuristic_label(value: str, stats: AttributeStats) -> int:
+    """0/1 error verdict for one cell value from distribution facts."""
+    if is_missing_placeholder(value):
+        return 1
+    if stats.numeric.fraction >= 0.5 and stats.numeric.is_outlier(value):
+        return 1
+    n = max(stats.n_rows, 1)
+    rare_count = max(2, round(0.002 * n))
+    if stats.value_counts.get(value, 0) <= rare_count:
+        free_text = stats.pattern_diversity() > 0.8
+        if not free_text and stats.pattern_frequency(value, level=2) < 0.05:
+            return 1
+        if stats.nearest_frequent_value(value) is not None:
+            return 1
+    return 0
+
+
+def heuristic_labels(
+    values: list[str], stats: AttributeStats
+) -> list[int]:
+    """Vector form of :func:`heuristic_label` (one verdict per value)."""
+    return [heuristic_label(v, stats) for v in values]

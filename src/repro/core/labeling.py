@@ -9,9 +9,13 @@ over the same information a real model would read.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.config import ZeroEDConfig
+from repro.core.fallback import heuristic_labels
 from repro.data.stats import AttributeStats, PairStats
 from repro.data.table import Table
+from repro.errors import LLMError
 from repro.llm.client import LLMClient, LLMRequest
 from repro.llm.prompts import LABEL_BATCH_PROMPT, serialize_tuple
 
@@ -26,8 +30,17 @@ def label_representatives(
     pair_stats: dict[str, PairStats],
     correlated: list[str],
     config: ZeroEDConfig,
+    on_failure: Callable[[str, LLMError], None] | None = None,
 ) -> dict[int, int]:
-    """Label the sampled rows' ``attr`` values; returns row -> 0/1."""
+    """Label the sampled rows' ``attr`` values; returns row -> 0/1.
+
+    ``on_failure`` enables graceful degradation per *batch*: a batch
+    whose LLM call fails (retries already exhausted underneath) is
+    labeled by the pattern/frequency heuristic
+    (:mod:`repro.core.fallback`) instead — batches that did succeed
+    keep their LLM labels, so one mid-run failure costs one batch of
+    label quality, not the attribute.  Without the callback a failure
+    propagates (historical fail-fast)."""
     labels: dict[int, int] = {}
     guided = bool(guideline_text)
     col = table.column_view(attr)
@@ -49,23 +62,29 @@ def label_representatives(
             guideline=guideline_text or "(no guideline available)",
             batch="\n".join(batch_lines),
         )
-        response = llm.complete(
-            LLMRequest(
-                kind="label_batch",
-                prompt=prompt,
-                payload={
-                    "dataset": table.name,
-                    "attr": attr,
-                    "batch_id": batch_id,
-                    "values": values,
-                    "contexts": contexts,
-                    "stats": stats,
-                    "pair_stats": pair_stats,
-                    "guided": guided,
-                },
+        try:
+            response = llm.complete(
+                LLMRequest(
+                    kind="label_batch",
+                    prompt=prompt,
+                    payload={
+                        "dataset": table.name,
+                        "attr": attr,
+                        "batch_id": batch_id,
+                        "values": values,
+                        "contexts": contexts,
+                        "stats": stats,
+                        "pair_stats": pair_stats,
+                        "guided": guided,
+                    },
+                )
             )
-        )
-        batch_labels = list(response.payload or [])
+            batch_labels = list(response.payload or [])
+        except LLMError as exc:
+            if on_failure is None:
+                raise
+            on_failure(attr, exc)
+            batch_labels = heuristic_labels(values, stats)
         # A real model occasionally returns short answers; missing
         # labels default to clean (the majority class).
         while len(batch_labels) < len(batch):

@@ -28,6 +28,7 @@ by :class:`repro.serving.scorer.BatchScorer` in a fresh process.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from pathlib import Path
 
@@ -47,8 +48,11 @@ from repro.core.training_data import (
 )
 from repro.data.stats import compute_all_stats
 from repro.data.table import Table
+from repro.errors import LLMError
+from repro.llm.checkpoint import CheckpointedLLM, fit_fingerprint
 from repro.llm.client import LLMClient
 from repro.llm.profiles import get_profile
+from repro.llm.resilience import ResilientLLM, RetryPolicy
 from repro.ml.rng import spawn
 from repro.parallel import effective_jobs, parallel_attr_map
 
@@ -116,7 +120,8 @@ class ZeroED:
         # (masks stay byte-identical for any jobs count); n_jobs == 1
         # keeps the historical serial loops bit-for-bit.
         parallel = effective_jobs(config.n_jobs, table.n_attributes) > 1
-        self.llm.ledger.reset()
+        llm = self._wrap_llm(config, table)
+        llm.ledger.reset()
         stages: list[StageInfo] = []
         details: dict = {
             "engines": {
@@ -126,12 +131,29 @@ class ZeroED:
             "n_jobs": config.n_jobs,
         }
 
+        # Per-attribute degradation ledger: stage callbacks land here
+        # when an attribute's LLM call exhausts its retries and the fit
+        # carries on with the statistical fallback for that stage.
+        degraded: dict[str, set[str]] = {}
+        degraded_lock = threading.Lock()
+
+        def degrade_into(stage: str):
+            """on_failure callback for one stage, or None (fail fast)."""
+            if not config.degrade_on_failure:
+                return None
+
+            def record(attr: str, exc: LLMError) -> None:
+                with degraded_lock:
+                    degraded.setdefault(attr, set()).add(stage)
+
+            return record
+
         def run_stage(name: str, fn):
-            before = self.llm.ledger.summary()
+            before = llm.ledger.summary()
             start = time.perf_counter()
             value = fn()
             elapsed = time.perf_counter() - start
-            after = self.llm.ledger.summary()
+            after = llm.ledger.summary()
             stages.append(
                 StageInfo(
                     name=name,
@@ -159,7 +181,10 @@ class ZeroED:
         criteria = run_stage(
             "criteria",
             lambda: (
-                generate_initial_criteria(self.llm, table, correlated, config)
+                generate_initial_criteria(
+                    llm, table, correlated, config,
+                    on_failure=degrade_into("criteria"),
+                )
                 if config.use_criteria_features
                 else {a: [] for a in table.attributes}
             ),
@@ -195,13 +220,24 @@ class ZeroED:
         def do_guidelines() -> dict[str, str]:
             if not config.use_guidelines:
                 return {a: "" for a in table.attributes}
+            on_failure = degrade_into("guideline")
             out = {}
             for attr in table.attributes:
                 examples = [
                     _context_row(table, i, attr, correlated[attr])
                     for i in sampling[attr].sampled_indices[:15]
                 ]
-                out[attr] = build_guideline(self.llm, table, attr, examples).text
+                try:
+                    out[attr] = build_guideline(
+                        llm, table, attr, examples
+                    ).text
+                except LLMError as exc:
+                    if on_failure is None:
+                        raise
+                    on_failure(attr, exc)
+                    # Labeling prompts degrade to "(no guideline
+                    # available)" — the w/o-Guid. ablation's shape.
+                    out[attr] = ""
             return out
 
         guidelines = run_stage("guidelines", do_guidelines)
@@ -213,7 +249,7 @@ class ZeroED:
                     q: table.pair_stats(q, attr) for q in correlated[attr]
                 }
                 out[attr] = label_representatives(
-                    llm=self.llm,
+                    llm=llm,
                     table=table,
                     attr=attr,
                     sampled_indices=sampling[attr].sampled_indices,
@@ -222,6 +258,7 @@ class ZeroED:
                     pair_stats=pair_stats,
                     correlated=correlated[attr],
                     config=config,
+                    on_failure=degrade_into("labeling"),
                 )
             return out
 
@@ -239,7 +276,7 @@ class ZeroED:
             # seeds are pure functions of (seed, attr)).
             outcomes = parallel_attr_map(
                 lambda attr: verify_attribute(
-                    llm=self.llm,
+                    llm=llm,
                     table=table,
                     attr=attr,
                     feature_space=feature_space,
@@ -247,6 +284,7 @@ class ZeroED:
                     llm_labels=llm_labels[attr],
                     correlated=correlated[attr],
                     config=config,
+                    on_failure=degrade_into("refinement"),
                 ),
                 table.attributes,
                 config.n_jobs,
@@ -259,13 +297,14 @@ class ZeroED:
                     feature_space.base_matrix(attr)
             return parallel_attr_map(
                 lambda attr: assemble_training_data(
-                    llm=self.llm,
+                    llm=llm,
                     table=table,
                     attr=attr,
                     feature_space=feature_space,
                     outcome=outcomes[attr],
                     correlated=correlated[attr],
                     config=config,
+                    on_failure=degrade_into("augmentation"),
                 ),
                 table.attributes,
                 config.n_jobs,
@@ -292,17 +331,58 @@ class ZeroED:
             }
             for attr, t in training.items()
         }
+        details["degraded_attrs"] = {
+            attr: sorted(stage_names)
+            for attr, stage_names in sorted(degraded.items())
+        }
+        details["resilience"] = self._resilience_summary(llm)
         return FittedZeroED(
             config=config,
-            llm=self.llm,
+            llm=llm,
             table=table,
             feature_space=feature_space,
             detector=detector,
             training=training,
             stages=stages,
             details=details,
-            ledger_summary=self.llm.ledger.summary(),
+            ledger_summary=llm.ledger.summary(),
         )
+
+    # ------------------------------------------------------------------
+    def _wrap_llm(self, config: ZeroEDConfig, table: Table) -> LLMClient:
+        """The fit-time client: resilience inside, checkpoints outside.
+
+        ``CheckpointedLLM(ResilientLLM(client))`` — cache hits skip the
+        retry machinery entirely; misses get its full protection.  A
+        client that is already a :class:`ResilientLLM` (caller tuned
+        its own policy) is respected as-is.  Both wrappers share the
+        inner token ledger, so accounting is unchanged.
+        """
+        llm = self.llm
+        if not isinstance(llm, (ResilientLLM, CheckpointedLLM)):
+            llm = ResilientLLM(
+                llm, RetryPolicy.from_config(config), seed=config.seed
+            )
+        if config.checkpoint_dir and not isinstance(llm, CheckpointedLLM):
+            llm = CheckpointedLLM(
+                llm,
+                config.checkpoint_dir,
+                fit_fingerprint(table, config, llm.model_name),
+            )
+        return llm
+
+    @staticmethod
+    def _resilience_summary(llm: LLMClient) -> dict:
+        """Failure-path accounting for ``details["resilience"]``."""
+        out: dict = {}
+        client = llm
+        if isinstance(client, CheckpointedLLM):
+            out["checkpoint"] = client.summary()
+            client = client.inner
+        if isinstance(client, ResilientLLM):
+            out.update(client.stats.summary())
+            out["breaker"] = client.breaker.snapshot()
+        return out
 
 
 class FittedZeroED:

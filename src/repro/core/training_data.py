@@ -12,6 +12,7 @@ block, Fig. 3's "update criteria feat").
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.core.featurize import FeatureSpace
 from repro.core.sampling import SamplingResult
 from repro.data.encoding import fold_codes
 from repro.data.table import Table
+from repro.errors import LLMError
 from repro.llm.client import LLMClient, LLMRequest
 from repro.llm.prompts import AUGMENT_PROMPT, CONTRASTIVE_CRITERIA_PROMPT
 from repro.ml.rng import spawn
@@ -194,6 +196,7 @@ def verify_attribute(
     llm_labels: dict[int, int],
     correlated: list[str],
     config: ZeroEDConfig,
+    on_failure: Callable[[str, LLMError], None] | None = None,
 ) -> VerificationOutcome:
     """Algorithm 1's verification phase (lines 1-24) for one attribute.
 
@@ -201,6 +204,12 @@ def verify_attribute(
     criteria block), so run this for *every* attribute before assembling
     any training features — unified representations concatenate other
     attributes' base features, and their dimensions must be final.
+
+    ``on_failure`` enables graceful degradation: a failed contrastive
+    refinement (retries already exhausted underneath) proceeds with no
+    refinement candidates — the initial criteria still go through the
+    verification gauntlet, so the attribute keeps its verified feature
+    block.  Without the callback the failure propagates.
     """
     if config.propagate_labels:
         # Evidence keys only need equality semantics, so one folded
@@ -242,9 +251,15 @@ def verify_attribute(
         _context_row(table, i, attr, correlated) for i in clean_sample
     ]
     if error_rows and clean_rows:
-        candidates = refine_criteria(
-            llm, table, attr, error_rows, clean_rows, correlated
-        )
+        try:
+            candidates = refine_criteria(
+                llm, table, attr, error_rows, clean_rows, correlated
+            )
+        except LLMError as exc:
+            if on_failure is None:
+                raise
+            on_failure(attr, exc)
+            candidates = []
     else:
         candidates = []
     # Verify criteria against propagated right labels (lines 8-14):
@@ -305,8 +320,14 @@ def assemble_training_data(
     outcome: VerificationOutcome,
     correlated: list[str],
     config: ZeroEDConfig,
+    on_failure: Callable[[str, LLMError], None] | None = None,
 ) -> AttributeTrainingData:
-    """Assemble features/labels and augment (Algorithm 1 lines 25-27)."""
+    """Assemble features/labels and augment (Algorithm 1 lines 25-27).
+
+    ``on_failure`` enables graceful degradation: a failed augmentation
+    request trains on the unaugmented (imbalanced) propagated set
+    instead of aborting.  Without the callback the failure propagates.
+    """
     propagated = outcome.propagated
     col = table.column_view(attr)
     unified = feature_space.unified_matrix(attr)
@@ -337,28 +358,35 @@ def assemble_training_data(
                 col[i]
                 for i in clean_indices[:AUGMENT_PAYLOAD_CLEAN_VALUES]
             ]
-            response = llm.complete(
-                LLMRequest(
-                    kind="augment",
-                    prompt=AUGMENT_PROMPT.format(
-                        attr=attr,
-                        dataset=table.name,
-                        n=needed,
-                        clean_values=clean_values[
-                            :AUGMENT_PROMPT_CLEAN_VALUES
-                        ],
-                        error_desc="typos, format breaks, magnitude shifts, "
-                        "placeholders observed in the labeled errors",
-                    ),
-                    payload={
-                        "dataset": table.name,
-                        "attr": attr,
-                        "clean_values": clean_values,
-                        "n": needed,
-                    },
+            try:
+                response = llm.complete(
+                    LLMRequest(
+                        kind="augment",
+                        prompt=AUGMENT_PROMPT.format(
+                            attr=attr,
+                            dataset=table.name,
+                            n=needed,
+                            clean_values=clean_values[
+                                :AUGMENT_PROMPT_CLEAN_VALUES
+                            ],
+                            error_desc="typos, format breaks, magnitude "
+                            "shifts, placeholders observed in the labeled "
+                            "errors",
+                        ),
+                        payload={
+                            "dataset": table.name,
+                            "attr": attr,
+                            "clean_values": clean_values,
+                            "n": needed,
+                        },
+                    )
                 )
-            )
-            generated = list(response.payload or [])
+                generated = list(response.payload or [])
+            except LLMError as exc:
+                if on_failure is None:
+                    raise
+                on_failure(attr, exc)
+                generated = []
             featurizer = feature_space.featurizers[attr]
             check_criteria = outcome.refined_criteria or featurizer.criteria
             rare = max(2, round(0.002 * table.n_rows))

@@ -25,7 +25,27 @@ class ConfigError(ReproError):
 
 
 class LLMError(ReproError):
-    """An LLM request could not be served (unknown prompt kind, bad payload)."""
+    """An LLM request could not be served (unknown prompt kind, bad
+    payload, transport failure, malformed reply).
+
+    ``status_code`` carries the HTTP status when the failure came from
+    an HTTP transport (429, 500, ...); ``None`` for non-HTTP failures.
+    The resilience layer uses it to separate retryable conditions
+    (timeouts, 429, 5xx) from permanent ones (400, 401, 404).
+    """
+
+    def __init__(self, message: str = "", *, status_code: int | None = None):
+        super().__init__(message)
+        self.status_code = status_code
+
+
+class LLMTimeoutError(LLMError):
+    """An LLM request exceeded its per-call timeout."""
+
+
+class CircuitOpenError(LLMError):
+    """The LLM circuit breaker is open: calls fail fast without
+    touching the backend until the cooldown elapses."""
 
 
 class CriteriaError(ReproError):

@@ -1,6 +1,10 @@
-"""LLM layer: client interface, prompts, profiles, simulated backend."""
+"""LLM layer: client interface, prompts, profiles, simulated backend,
+resilience wrappers (retry/backoff/breaker), fit checkpoints, and the
+deterministic fault-injection harness."""
 
+from repro.llm.checkpoint import CheckpointedLLM, fit_fingerprint
 from repro.llm.client import REQUEST_KINDS, LLMClient, LLMRequest, LLMResponse
+from repro.llm.faults import FaultPlan, FaultStats, FaultyLLM, FaultyTransport
 from repro.llm.profiles import (
     DEFAULT_PROFILE,
     GPT_4O_MINI,
@@ -12,10 +16,21 @@ from repro.llm.profiles import (
     QWEN_72B,
     get_profile,
 )
+from repro.llm.resilience import (
+    ResilienceStats,
+    ResilientLLM,
+    RetryPolicy,
+    is_retryable,
+)
 from repro.llm.tokens import TokenLedger, TokenUsage, estimate_tokens
 
 __all__ = [
+    "CheckpointedLLM",
     "DEFAULT_PROFILE",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyLLM",
+    "FaultyTransport",
     "GPT_4O_MINI",
     "LLAMA_70B",
     "LLAMA_8B",
@@ -27,11 +42,16 @@ __all__ = [
     "QWEN_72B",
     "QWEN_7B",
     "REQUEST_KINDS",
+    "ResilienceStats",
+    "ResilientLLM",
+    "RetryPolicy",
     "SimulatedLLM",
     "TokenLedger",
     "TokenUsage",
     "estimate_tokens",
+    "fit_fingerprint",
     "get_profile",
+    "is_retryable",
 ]
 
 

@@ -1,0 +1,197 @@
+"""Per-attribute fit checkpoints: resume without re-spending tokens.
+
+A 10k-row fit spends ~770k input tokens across a few hundred LLM
+calls; an interruption (crash, circuit breaker, SIGKILL) used to throw
+all of it away.  :class:`CheckpointedLLM` wraps any client and
+persists every successful response to disk, grouped into **one JSON
+file per attribute** (the pipeline's unit of work)::
+
+    <checkpoint_dir>/
+      _meta.json            run fingerprint (schema + seed + model)
+      attr-<slug>.json      {request-key: {"text": ..., "payload": ...}}
+
+On a later fit with the same fingerprint, any request whose key is
+already on disk is answered from the file — zero tokens recorded, zero
+backend calls — so a rerun after an interruption only pays for the
+work the first run never finished.
+
+Keys are ``sha256(kind + prompt)``: the prompt embeds the table
+sample, the seed-derived row choices and the config-driven phrasing,
+so any change that could change the answer changes the key.  The
+fingerprint is a coarser guard that wipes the directory's relevance
+wholesale (different table, schema, seed or model ⇒ stale files are
+ignored and overwritten).
+
+The wrapper composes *outside* the resilience layer —
+``CheckpointedLLM(ResilientLLM(client))`` — so cache hits skip the
+retry machinery entirely and misses get its full protection.
+
+Payloads are cached only when they round-trip through JSON (every
+pipeline payload does: criterion/function specs, 0/1 label lists,
+value lists, guideline text, verdict dicts); anything else is served
+but not persisted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from pathlib import Path
+
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+
+META_NAME = "_meta.json"
+_GLOBAL_GROUP = "_global"
+
+
+def fit_fingerprint(
+    table, config, model_name: str
+) -> str:
+    """Identity of one fit's LLM workload.
+
+    Anything that changes which requests the pipeline issues — the
+    table (name, size, schema), the seed, the labeling budget, or the
+    model — must change the fingerprint, so checkpoints never leak
+    between workloads.
+    """
+    basis = json.dumps(
+        {
+            "dataset": table.name,
+            "n_rows": table.n_rows,
+            "attributes": table.attributes,
+            "seed": config.seed,
+            "llm_model": model_name,
+            "label_rate": config.label_rate,
+            "batch_size": config.batch_size,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+
+def _slug(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", name)[:80]
+    return cleaned or "attr"
+
+
+class CheckpointedLLM(LLMClient):
+    """Write-through LLM response cache over a checkpoint directory."""
+
+    def __init__(
+        self, inner: LLMClient, directory: str | Path, fingerprint: str
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.ledger = inner.ledger  # shared: hits simply record nothing
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.n_hits = 0
+        self.n_misses = 0
+        self._lock = threading.Lock()
+        self._groups: dict[str, dict[str, dict]] = {}
+        self._load()
+
+    @property
+    def model_name(self) -> str:
+        return self.inner.model_name
+
+    # ------------------------------------------------------------------
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        group = self._group_for(request)
+        key = self._key(request)
+        with self._lock:
+            entry = self._groups.get(group, {}).get(key)
+        if entry is not None:
+            with self._lock:
+                self.n_hits += 1
+            return LLMResponse(
+                text=entry["text"], payload=entry["payload"]
+            )
+        response = self.inner.complete(request)
+        with self._lock:
+            self.n_misses += 1
+        self._store(group, key, response)
+        return response
+
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        # Interface stub; complete() is overridden wholesale so token
+        # accounting stays with the inner client (and is skipped on
+        # cache hits — that is the point).
+        return self.inner._complete(request)
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "directory": str(self.directory),
+                "hits": self.n_hits,
+                "misses": self.n_misses,
+            }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_for(request: LLMRequest) -> str:
+        attr = request.payload.get("attr")
+        return _slug(str(attr)) if attr else _GLOBAL_GROUP
+
+    @staticmethod
+    def _key(request: LLMRequest) -> str:
+        basis = request.kind + "\x1f" + request.prompt
+        return hashlib.sha256(basis.encode("utf-8", "replace")).hexdigest()
+
+    def _load(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta_path = self.directory / META_NAME
+        stale = True
+        try:
+            meta = json.loads(meta_path.read_text())
+            stale = meta.get("fingerprint") != self.fingerprint
+        except (OSError, ValueError):
+            pass
+        if stale:
+            # Different workload (or no/corrupt meta): start fresh.
+            # Old files are left behind but ignored; the first store
+            # per group overwrites them.
+            meta_path.write_text(
+                json.dumps({"fingerprint": self.fingerprint}) + "\n"
+            )
+            return
+        for path in sorted(self.directory.glob("attr-*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # a torn write from the interrupted run
+            entries = data.get("entries")
+            if data.get("fingerprint") == self.fingerprint and isinstance(
+                entries, dict
+            ):
+                self._groups[data.get("group", path.stem)] = entries
+
+    def _store(self, group: str, key: str, response: LLMResponse) -> None:
+        try:  # cache only JSON-faithful payloads
+            payload = json.loads(json.dumps(response.payload))
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            entries = self._groups.setdefault(group, {})
+            entries[key] = {"text": response.text, "payload": payload}
+            snapshot = dict(entries)
+        body = json.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "group": group,
+                "entries": snapshot,
+            }
+        )
+        path = self.directory / f"attr-{group}.json"
+        # Unique temp name per writer thread: concurrent stores to one
+        # group (possible under n_jobs > 1) must not tear each other.
+        tmp = self.directory / f".attr-{group}.{threading.get_ident()}.tmp"
+        try:
+            tmp.write_text(body + "\n")
+            tmp.replace(path)  # atomic: a crash never tears the file
+        except OSError:
+            # Checkpointing is best-effort; a full disk must not fail
+            # the fit that the checkpoint exists to protect.
+            pass

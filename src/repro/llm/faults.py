@@ -1,0 +1,244 @@
+"""Deterministic fault injection for LLM clients and transports.
+
+The chaos suite needs a flaky backend whose flakiness is *exactly*
+reproducible: same seed, same sequence of timeouts, HTTP errors and
+garbage replies.  Two injectors share one seeded plan:
+
+* :class:`FaultyLLM` wraps any :class:`~repro.llm.client.LLMClient`
+  and, per call, either raises a fault (timeout / HTTP 429 / HTTP 500 /
+  malformed reply), returns a *truncated* but parseable response, or
+  passes through untouched;
+* :class:`FaultyTransport` wraps an HTTP transport callable (the
+  injection point of :class:`~repro.llm.http_client.HTTPChatLLM`) with
+  the same fault kinds at the wire level.
+
+Both meter every injection in :class:`FaultStats`, so tests can assert
+*exact* retry accounting: each raised fault must show up as exactly one
+failed attempt in the resilience layer.
+
+Determinism: draws come from one ``random.Random(seed)`` stream in call
+order.  Under ``n_jobs > 1`` thread interleaving reorders the draws, so
+chaos tests pin ``n_jobs=1`` when they assert byte-level outcomes; the
+*counts* invariants hold for any jobs count.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import LLMError, LLMTimeoutError
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault mix.  Rates are independent probabilities summed in
+    order (timeout, http, malformed, truncate); their sum must be
+    <= 1.0, the remainder passes through clean."""
+
+    timeout_rate: float = 0.0
+    http_error_rate: float = 0.0
+    malformed_rate: float = 0.0
+    truncate_rate: float = 0.0
+    seed: int = 0
+    kinds: tuple[str, ...] | None = None
+    """Restrict injection to these request kinds (None = all)."""
+
+    max_faults: int | None = None
+    """Stop injecting after this many faults (None = unbounded) — a
+    liveness valve for 100%-rate scenarios."""
+
+    http_statuses: tuple[int, ...] = (429, 500)
+
+    def __post_init__(self) -> None:
+        total = (
+            self.timeout_rate + self.http_error_rate
+            + self.malformed_rate + self.truncate_rate
+        )
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault rates sum to {total}, outside [0, 1]")
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults, by kind of injection."""
+
+    n_calls: int = 0
+    n_timeouts: int = 0
+    n_http_errors: int = 0
+    n_malformed: int = 0
+    n_truncated: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def n_raised(self) -> int:
+        """Faults that surfaced as exceptions (truncations do not)."""
+        return self.n_timeouts + self.n_http_errors + self.n_malformed
+
+    @property
+    def n_injected(self) -> int:
+        return self.n_raised + self.n_truncated
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "calls": self.n_calls,
+                "timeouts": self.n_timeouts,
+                "http_errors": self.n_http_errors,
+                "malformed": self.n_malformed,
+                "truncated": self.n_truncated,
+                "raised": self.n_raised,
+            }
+
+
+class _Injector:
+    """Shared draw/accounting logic for both fault surfaces."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+
+    def draw(self, kind: str | None = None) -> str | None:
+        """The fault to inject for this call (None = pass through)."""
+        plan = self.plan
+        with self._lock:
+            self.stats.n_calls += 1
+            if plan.kinds is not None and kind not in plan.kinds:
+                return None
+            if (
+                plan.max_faults is not None
+                and self.stats.n_injected >= plan.max_faults
+            ):
+                return None
+            u = self._rng.random()
+            edge = plan.timeout_rate
+            if u < edge:
+                self.stats.n_timeouts += 1
+                return "timeout"
+            edge += plan.http_error_rate
+            if u < edge:
+                self.stats.n_http_errors += 1
+                return "http"
+            edge += plan.malformed_rate
+            if u < edge:
+                self.stats.n_malformed += 1
+                return "malformed"
+            edge += plan.truncate_rate
+            if u < edge:
+                self.stats.n_truncated += 1
+                return "truncate"
+            return None
+
+    def http_status(self) -> int:
+        with self._lock:
+            return self._rng.choice(self.plan.http_statuses)
+
+
+class FaultyLLM(LLMClient):
+    """Client wrapper injecting seeded faults ahead of the backend.
+
+    Raised faults (timeout / HTTP / malformed) never reach the inner
+    client, so they consume no tokens — mirroring a request that died
+    on the wire.  Truncations call the backend, then halve the reply
+    text and any list payload: a parseable-but-short answer, the
+    lenient-parsing path (label padding, short augment lists).
+    """
+
+    def __init__(self, inner: LLMClient, plan: FaultPlan) -> None:
+        super().__init__()
+        self.inner = inner
+        self.ledger = inner.ledger  # shared, like the resilience layer
+        self.plan = plan
+        self._injector = _Injector(plan)
+
+    @property
+    def stats(self) -> FaultStats:
+        return self._injector.stats
+
+    @property
+    def model_name(self) -> str:
+        return self.inner.model_name
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        fault = self._injector.draw(request.kind)
+        if fault == "timeout":
+            raise LLMTimeoutError(
+                f"injected timeout for {request.kind} request"
+            )
+        if fault == "http":
+            status = self._injector.http_status()
+            raise LLMError(
+                f"injected HTTP {status} for {request.kind} request",
+                status_code=status,
+            )
+        if fault == "malformed":
+            raise LLMError(
+                f"injected malformed reply for {request.kind} request "
+                "(unparseable response body)"
+            )
+        response = self.inner.complete(request)
+        if fault == "truncate":
+            return _truncate_response(response)
+        return response
+
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        # complete() is overridden wholesale (accounting stays with the
+        # inner client); this satisfies the abstract interface only.
+        return self.inner._complete(request)
+
+
+def _truncate_response(response: LLMResponse) -> LLMResponse:
+    text = response.text[: max(1, len(response.text) // 2)]
+    payload = response.payload
+    if isinstance(payload, list):
+        payload = payload[: len(payload) // 2]
+    elif isinstance(payload, str):
+        payload = payload[: max(1, len(payload) // 2)]
+    return LLMResponse(text=text, payload=payload)
+
+
+class FaultyTransport:
+    """Wire-level twin of :class:`FaultyLLM` for ``HTTPChatLLM``.
+
+    Honours the transport contract of :mod:`repro.llm.http_client`:
+    HTTP faults raise :class:`LLMError` with ``status_code`` set (as
+    ``urllib_transport`` does for real error responses), timeouts raise
+    :class:`TimeoutError` (as ``urllib.request`` does when the socket
+    deadline passes), malformed faults return a non-JSON body, and
+    truncations halve the inner transport's raw reply.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._injector = _Injector(plan)
+
+    @property
+    def stats(self) -> FaultStats:
+        return self._injector.stats
+
+    def __call__(
+        self, url: str, headers: dict, body: bytes, timeout: float
+    ) -> str:
+        fault = self._injector.draw()
+        if fault == "timeout":
+            raise TimeoutError("injected socket timeout")
+        if fault == "http":
+            status = self._injector.http_status()
+            raise LLMError(
+                f"injected HTTP {status} from {url}: "
+                '{"error": "injected fault"}',
+                status_code=status,
+            )
+        if fault == "malformed":
+            return '{"choices": [{"mess'  # cut mid-stream
+        raw = self.inner(url, headers, body, timeout)
+        if fault == "truncate":
+            return raw[: max(1, len(raw) // 2)]
+        return raw

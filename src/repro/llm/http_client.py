@@ -13,26 +13,59 @@ offline (and lets callers add retries/backoff policies).
 from __future__ import annotations
 
 import json
+import urllib.error
 import urllib.request
 from collections.abc import Callable
 
-from repro.errors import LLMError
+from repro.errors import LLMError, LLMTimeoutError
 from repro.llm.client import LLMClient, LLMRequest, LLMResponse
 from repro.llm import parsing
 
 #: transport(url, headers, body_bytes, timeout) -> response text
 Transport = Callable[[str, dict, bytes, float], str]
 
+#: How much of an HTTP error body survives into the raised message —
+#: enough for the server's JSON error object, not a whole HTML page.
+ERROR_BODY_LIMIT = 500
+
 
 def urllib_transport(
     url: str, headers: dict, body: bytes, timeout: float
 ) -> str:
-    """Default transport over urllib (no third-party dependencies)."""
+    """Default transport over urllib (no third-party dependencies).
+
+    HTTP error responses (429 rate limits, 5xx) carry their status and
+    a truncated body in the raised :class:`LLMError` — API servers put
+    the actionable detail ("rate limit exceeded, retry after ...",
+    "model not found") in the body, and the resilience layer routes on
+    ``status_code``.  Socket deadlines surface as
+    :class:`LLMTimeoutError`.
+    """
     request = urllib.request.Request(
         url, data=body, headers=headers, method="POST"
     )
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return response.read().decode("utf-8")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = exc.read(ERROR_BODY_LIMIT).decode("utf-8", "replace")
+        except OSError:
+            detail = "<unreadable body>"
+        raise LLMError(
+            f"HTTP {exc.code} from {url}: {detail.strip()}",
+            status_code=exc.code,
+        ) from exc
+    except TimeoutError as exc:
+        raise LLMTimeoutError(
+            f"request to {url} timed out after {timeout:.1f}s"
+        ) from exc
+    except urllib.error.URLError as exc:
+        if isinstance(exc.reason, TimeoutError):
+            raise LLMTimeoutError(
+                f"request to {url} timed out after {timeout:.1f}s"
+            ) from exc
+        raise LLMError(f"request to {url} failed: {exc.reason}") from exc
 
 
 class HTTPChatLLM(LLMClient):
@@ -83,6 +116,12 @@ class HTTPChatLLM(LLMClient):
         url = f"{self.base_url}/chat/completions"
         try:
             raw = self.transport(url, headers, body, self.timeout)
+        except LLMError:
+            raise  # already carries status_code / timeout semantics
+        except TimeoutError as exc:
+            raise LLMTimeoutError(
+                f"chat request to {url} timed out: {exc}"
+            ) from exc
         except Exception as exc:
             raise LLMError(f"chat request to {url} failed: {exc}") from exc
         try:

@@ -1,0 +1,340 @@
+"""Fault tolerance for LLM clients: retries, backoff, circuit breaking.
+
+A production fit spends minutes and hundreds of thousands of tokens on
+one table; a single flaky HTTP call must not abort it.
+:class:`ResilientLLM` composes over any :class:`~repro.llm.client.
+LLMClient` and adds:
+
+* **retries with exponential backoff** — transient failures (timeouts,
+  429/5xx, malformed replies) are retried up to ``max_retries`` times
+  with exponentially growing, capped sleeps;
+* **deterministic seeded jitter** — the backoff jitter derives from
+  ``(seed, request kind, prompt checksum, attempt)``, so two runs of
+  the same workload sleep identically (no ``random.random()`` — the
+  reproducibility contract extends to the failure path);
+* **per-call timeout** — an optional wall-clock bound per attempt,
+  enforced in a watchdog thread for clients whose transport cannot
+  time out on its own;
+* **a circuit breaker** — after ``breaker_threshold`` *consecutive*
+  failed attempts the circuit opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` until ``breaker_cooldown_s``
+  elapses; the first call after the cooldown is a half-open probe that
+  closes the circuit on success and re-opens it on failure;
+* **metering** — every attempt, retry, exhausted call and breaker
+  transition is counted in a thread-safe :class:`ResilienceStats`
+  ledger alongside the token ledger (which is *shared* with the inner
+  client: the wrapper is invisible to token accounting).
+
+Retryability: failures without an HTTP status (network errors,
+timeouts, unparseable replies) and statuses 408/429/5xx are retryable;
+other 4xx are permanent and fail immediately.
+
+Non-LLM exceptions (``KeyboardInterrupt``, programming errors) are
+never retried — they propagate so bugs stay loud.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitOpenError, LLMError, LLMTimeoutError
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+
+#: HTTP statuses worth retrying on top of status-less failures.
+RETRYABLE_STATUS_CODES = frozenset({408, 429})
+
+
+def is_retryable(exc: LLMError) -> bool:
+    """Whether a failure is transient (worth retrying)."""
+    if isinstance(exc, CircuitOpenError):
+        return False
+    status = getattr(exc, "status_code", None)
+    if status is None:
+        return True  # network error, timeout, malformed reply
+    return status in RETRYABLE_STATUS_CODES or status >= 500
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the resilience layer (see ``ZeroEDConfig.llm_*``)."""
+
+    max_retries: int = 2
+    """Retries *beyond* the first attempt (0 disables retrying)."""
+
+    backoff_base_s: float = 0.5
+    """Sleep before retry ``k`` is ``base * 2**(k-1)``, capped below."""
+
+    backoff_max_s: float = 30.0
+    jitter: float = 0.1
+    """Each sleep is scaled by ``1 + jitter * u`` with a deterministic
+    ``u`` in [-1, 1) derived from (seed, kind, prompt, attempt)."""
+
+    timeout_s: float | None = None
+    """Per-attempt wall-clock bound; ``None`` trusts the client's own
+    transport timeout (no watchdog thread per call)."""
+
+    breaker_threshold: int = 10
+    """Consecutive failed attempts that trip the breaker; 0 disables
+    the breaker entirely."""
+
+    breaker_cooldown_s: float = 30.0
+
+    @classmethod
+    def from_config(cls, config) -> "RetryPolicy":
+        """Build the policy from a :class:`~repro.config.ZeroEDConfig`."""
+        return cls(
+            max_retries=config.llm_max_retries,
+            backoff_base_s=config.llm_backoff_s,
+            backoff_max_s=config.llm_backoff_max_s,
+            timeout_s=config.llm_timeout_s,
+            breaker_threshold=config.llm_breaker_threshold,
+            breaker_cooldown_s=config.llm_breaker_cooldown_s,
+        )
+
+
+@dataclass
+class ResilienceStats:
+    """Thread-safe counters for the failure path.
+
+    Invariants (asserted by the chaos suite): every failed attempt is
+    either retried or ends its call, so
+    ``n_failed_attempts == n_retries + n_failed_calls``; and with the
+    breaker closed every fault the backend raised is seen exactly once,
+    so ``n_failed_attempts`` equals the injected fault count.
+    """
+
+    n_calls: int = 0
+    n_attempts: int = 0
+    n_failed_attempts: int = 0
+    n_retries: int = 0
+    n_failed_calls: int = 0
+    """Calls that raised after exhausting retries (or a permanent
+    failure / open circuit)."""
+
+    n_short_circuited: int = 0
+    """Calls rejected immediately by an open breaker."""
+
+    n_breaker_opens: int = 0
+    failures_by_kind: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "calls": self.n_calls,
+                "attempts": self.n_attempts,
+                "failed_attempts": self.n_failed_attempts,
+                "retries": self.n_retries,
+                "failed_calls": self.n_failed_calls,
+                "short_circuited": self.n_short_circuited,
+                "breaker_opens": self.n_breaker_opens,
+                "failures_by_kind": dict(self.failures_by_kind),
+            }
+
+
+class _CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe state."""
+
+    def __init__(self, threshold: int, cooldown_s: float, clock) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.n_opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.n_opens,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }
+
+    def admit(self) -> bool:
+        """Whether a call may proceed right now."""
+        if self.threshold <= 0:
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = "half_open"  # one probe allowed
+                    return True
+                return False
+            # half_open: one probe is already in flight; fail fast so
+            # a burst against a dead backend stays one request wide.
+            return False
+
+    def record_success(self) -> None:
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._consecutive_failures >= self.threshold
+                or self._state == "half_open"
+            )
+            if tripped and self._state != "open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.n_opens += 1
+            elif tripped:  # already open (concurrent failures)
+                self._opened_at = self._clock()
+
+
+class ResilientLLM(LLMClient):
+    """Retry/backoff/timeout/circuit-breaker wrapper over any client.
+
+    Shares the inner client's :class:`~repro.llm.tokens.TokenLedger`
+    (token accounting happens inside the wrapped ``complete``, exactly
+    once per *successful* attempt) and reports the inner model name, so
+    the wrapper is transparent to everything but the failure path.
+
+    ``sleep`` and ``clock`` are injectable for tests; ``seed`` feeds
+    the deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.ledger = inner.ledger  # shared: wrapper is accounting-neutral
+        self.policy = policy or RetryPolicy()
+        self.seed = seed
+        self.stats = ResilienceStats()
+        self._sleep = sleep
+        self.breaker = _CircuitBreaker(
+            self.policy.breaker_threshold,
+            self.policy.breaker_cooldown_s,
+            clock,
+        )
+
+    @property
+    def model_name(self) -> str:
+        return self.inner.model_name
+
+    # ------------------------------------------------------------------
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        policy = self.policy
+        stats = self.stats
+        with stats._lock:
+            stats.n_calls += 1
+        attempt = 0
+        while True:
+            if not self.breaker.admit():
+                with stats._lock:
+                    stats.n_short_circuited += 1
+                    stats.n_failed_calls += 1
+                raise CircuitOpenError(
+                    f"circuit breaker open after "
+                    f"{self.policy.breaker_threshold} consecutive LLM "
+                    f"failures; retry after "
+                    f"{self.policy.breaker_cooldown_s:.0f}s cooldown"
+                )
+            with stats._lock:
+                stats.n_attempts += 1
+            try:
+                response = self._attempt(request)
+            except LLMError as exc:
+                self.breaker.record_failure()
+                with stats._lock:
+                    stats.n_breaker_opens = self.breaker.n_opens
+                    stats.n_failed_attempts += 1
+                    stats.failures_by_kind[request.kind] = (
+                        stats.failures_by_kind.get(request.kind, 0) + 1
+                    )
+                if not is_retryable(exc) or attempt >= policy.max_retries:
+                    with stats._lock:
+                        stats.n_failed_calls += 1
+                    raise
+                attempt += 1
+                with stats._lock:
+                    stats.n_retries += 1
+                self._sleep(self._backoff(request, attempt))
+                continue
+            self.breaker.record_success()
+            return response
+
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        # Unused: complete() is overridden wholesale so the inner
+        # client keeps sole ownership of token accounting.
+        return self.inner._complete(request)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, request: LLMRequest) -> LLMResponse:
+        timeout = self.policy.timeout_s
+        if timeout is None:
+            return self.inner.complete(request)
+        box: dict = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                box["response"] = self.inner.complete(request)
+            except BaseException as exc:  # rethrown on the caller thread
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=run, name="llm-attempt", daemon=True
+        )
+        worker.start()
+        if not done.wait(timeout):
+            # The blocked call cannot be interrupted from outside; the
+            # daemon thread is abandoned and its eventual result (and
+            # token accounting, if it ever returns) is discarded.
+            raise LLMTimeoutError(
+                f"{request.kind} request exceeded the {timeout:.1f}s "
+                f"per-call timeout"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["response"]
+
+    def _backoff(self, request: LLMRequest, attempt: int) -> float:
+        policy = self.policy
+        base = min(
+            policy.backoff_base_s * (2 ** (attempt - 1)),
+            policy.backoff_max_s,
+        )
+        if policy.jitter <= 0 or base <= 0:
+            return base
+        # Deterministic jitter in [-1, 1): a 32-bit mix of the seed,
+        # request identity and attempt index — identical across runs
+        # and independent of thread scheduling.
+        digest = zlib.crc32(
+            f"{self.seed}/{request.kind}/{attempt}".encode()
+            + request.prompt.encode("utf-8", "replace")
+        )
+        u = (digest / 2**31) - 1.0
+        return max(0.0, base * (1.0 + policy.jitter * u))

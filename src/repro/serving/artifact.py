@@ -45,6 +45,7 @@ import hashlib
 import io
 import json
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -197,6 +198,13 @@ class DetectorArtifact:
                 else None
             ),
             "per_attribute": per_attribute,
+            # Fit-time degradation provenance (PR 6): which attributes
+            # fell back to statistical signals, and at which stage.  An
+            # operator deciding whether to trust or refit a detector
+            # needs this next to the artifact, not in a lost fit log.
+            "resilience": {
+                "degraded_attrs": fitted.details.get("degraded_attrs", {}),
+            },
         }
         return cls(manifest, arrays)
 
@@ -275,7 +283,9 @@ class DetectorArtifact:
         try:
             with np.load(io.BytesIO(payload), allow_pickle=False) as data:
                 arrays = {key: data[key] for key in data.files}
-        except (OSError, ValueError, KeyError) as exc:
+        # BadZipFile: a bundle truncated *before* it was signed passes
+        # the checksum but still is not a readable zip.
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
             raise ArtifactError(
                 f"{arrays_path} is not a valid array bundle: {exc}"
             ) from exc
@@ -397,6 +407,8 @@ class DetectorArtifact:
             "engines": manifest["engines"],
             "package_version": manifest.get("package_version"),
             "created_at": manifest.get("created_at"),
+            # Absent in pre-PR-6 artifacts: degradation state unknown.
+            "resilience": manifest.get("resilience"),
         }
         return RestoredState(
             config=config,

@@ -132,6 +132,18 @@ class BatchScorer:
             attributes=fitted.attributes,
             llm_model=fitted.llm.model_name,
             train_rows=fitted.table.n_rows,
+            info={
+                "dataset": fitted.table.name,
+                "train_rows": fitted.table.n_rows,
+                "llm_model": fitted.llm.model_name,
+                "attributes": fitted.attributes,
+                "engines": {"detector": fitted.detector.engine},
+                "resilience": {
+                    "degraded_attrs": fitted.details.get(
+                        "degraded_attrs", {}
+                    ),
+                },
+            },
             n_jobs=n_jobs,
         )
 

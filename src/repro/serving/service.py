@@ -5,9 +5,20 @@ JSON API:
 
 * ``POST /score`` — body ``{"rows": [{attr: value, ...}, ...]}``;
   responds with the per-row boolean error flags in schema order.
-* ``GET /healthz`` — liveness plus serving counters.
+* ``GET /healthz`` — liveness plus serving counters, the fit-time
+  degradation state and (when wired to a live pipeline) the circuit
+  breaker's snapshot.
 * ``GET /artifact`` — the loaded artifact's manifest summary (version,
   schema, engines, training provenance).
+
+Hardening (PR 6): every error response is a structured JSON body
+``{"error": <human message>, "code": <stable machine code>}`` — codes
+are ``invalid_json``, ``bad_request``, ``payload_too_large``,
+``not_found`` and ``internal`` — request bodies are capped at
+``max_body_bytes`` (HTTP 413 beyond it, read in bounded chunks so an
+oversized upload never materialises in memory), and socket reads carry
+a ``read_timeout_s`` deadline so a stalled client cannot pin a handler
+thread forever.
 
 Requests are **micro-batched**: handler threads enqueue their rows and
 block; a single scoring worker drains whatever accumulated within a
@@ -40,6 +51,10 @@ DEFAULT_LINGER_S = 0.002
 DEFAULT_MAX_BATCH_ROWS = 4096
 #: How long a handler thread waits for its batch to be scored.
 REQUEST_TIMEOUT_S = 120.0
+#: Request-body cap (bytes) and per-connection socket read deadline —
+#: the service-level defaults; both are constructor knobs.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+DEFAULT_READ_TIMEOUT_S = 30.0
 
 
 @dataclass
@@ -168,10 +183,20 @@ class ScoringService:
         port: int = 0,
         linger_s: float = DEFAULT_LINGER_S,
         max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        breaker_state=None,
     ) -> None:
         self.scorer = scorer
         self.started_at = time.time()
         self.n_requests = 0
+        self.max_body_bytes = max_body_bytes
+        self.read_timeout_s = read_timeout_s
+        #: Optional zero-arg callable returning the live circuit
+        #: breaker's snapshot dict — wire it when the service fronts a
+        #: pipeline that still holds its ResilientLLM (a service over a
+        #: reloaded artifact has no breaker; /healthz reports null).
+        self.breaker_state = breaker_state
         self._stats_lock = threading.Lock()
         self._batcher = _MicroBatcher(
             scorer, linger_s=linger_s, max_batch_rows=max_batch_rows
@@ -245,18 +270,35 @@ class ScoringService:
         }
 
     def health(self) -> dict:
+        resilience = self.scorer.info.get("resilience") or {}
+        breaker = None
+        if self.breaker_state is not None:
+            try:
+                breaker = self.breaker_state()
+            except Exception:  # health must never 500 over telemetry
+                breaker = {"state": "unknown"}
         return {
             "status": "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": self.n_requests,
             "batches": self._batcher.n_batches,
             "rows_scored": self._batcher.n_rows,
+            "degraded_attrs": resilience.get("degraded_attrs") or {},
+            "circuit_breaker": breaker,
         }
+
+
+class _PayloadTooLarge(Exception):
+    """Request body exceeded the service's ``max_body_bytes`` cap."""
 
 
 def _make_handler(service: ScoringService):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # StreamRequestHandler deadline on every socket read: a client
+        # that stalls mid-body gets disconnected instead of pinning a
+        # handler thread until process death.
+        timeout = service.read_timeout_s
 
         def log_message(self, *args) -> None:  # keep test output quiet
             pass
@@ -269,31 +311,65 @@ def _make_handler(service: ScoringService):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_error(self, status: int, code: str, message: str) -> None:
+            # "error" stays a plain human-readable string (the wire
+            # contract clients already parse); "code" is the stable
+            # machine-routable label.
+            self._send(status, {"error": message, "code": code})
+
+        def _read_body(self) -> bytes:
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError as exc:
+                raise ArtifactError(
+                    f"invalid Content-Length header: "
+                    f"{self.headers.get('Content-Length')!r}"
+                ) from exc
+            cap = service.max_body_bytes
+            if length > cap:
+                raise _PayloadTooLarge
+            return self.rfile.read(length)
+
         def do_GET(self) -> None:
             if self.path == "/healthz":
                 self._send(200, service.health())
             elif self.path == "/artifact":
                 self._send(200, service.scorer.info)
             else:
-                self._send(404, {"error": f"unknown path {self.path!r}"})
+                self._send_error(
+                    404, "not_found", f"unknown path {self.path!r}"
+                )
 
         def do_POST(self) -> None:
             if self.path != "/score":
-                self._send(404, {"error": f"unknown path {self.path!r}"})
+                self._send_error(
+                    404, "not_found", f"unknown path {self.path!r}"
+                )
                 return
             with service._stats_lock:
                 service.n_requests += 1
             try:
-                length = int(self.headers.get("Content-Length") or 0)
-                payload = json.loads(self.rfile.read(length) or b"{}")
+                payload = json.loads(self._read_body() or b"{}")
                 if not isinstance(payload, dict):
                     raise ArtifactError("body must be a JSON object")
                 self._send(200, service.handle_score(payload))
+            except _PayloadTooLarge:
+                # The oversized body was never read; drop the
+                # connection after replying so its bytes cannot be
+                # misread as a follow-up request on the keep-alive.
+                self.close_connection = True
+                self._send_error(
+                    413,
+                    "payload_too_large",
+                    f"request body exceeds the "
+                    f"{service.max_body_bytes}-byte limit; split the "
+                    f"rows across smaller /score requests",
+                )
             except json.JSONDecodeError as exc:
-                self._send(400, {"error": f"invalid JSON: {exc}"})
+                self._send_error(400, "invalid_json", f"invalid JSON: {exc}")
             except ReproError as exc:
-                self._send(400, {"error": str(exc)})
+                self._send_error(400, "bad_request", str(exc))
             except Exception as exc:  # internal failure, still JSON
-                self._send(500, {"error": f"internal error: {exc}"})
+                self._send_error(500, "internal", f"internal error: {exc}")
 
     return Handler

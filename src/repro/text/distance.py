@@ -37,6 +37,12 @@ def levenshtein(a: str, b: str, limit: int | None = None) -> int:
         if limit is not None and row_min > limit:
             return limit + 1
         previous = current
+    if limit is not None:
+        # The row-min cutoff only fires when an entire row exceeds the
+        # limit; a final cell can still land above it (shorter prefixes
+        # kept the row min low).  Clamp so the documented contract —
+        # anything beyond ``limit`` reports ``limit + 1`` — holds.
+        return min(previous[-1], limit + 1)
     return previous[-1]
 
 

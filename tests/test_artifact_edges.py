@@ -1,0 +1,130 @@
+"""Artifact corruption edge cases: every broken artifact must fail as
+an :class:`ArtifactError` whose message says what is wrong and where —
+never a bare ``KeyError``/``zipfile.BadZipFile`` from deep inside
+numpy or json."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import get_dataset
+from repro.errors import ArtifactError
+from repro.serving.artifact import DetectorArtifact
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    table = get_dataset("hospital").make(n_rows=60, seed=2).dirty
+    fitted = ZeroED(
+        ZeroEDConfig(
+            label_rate=0.1, mlp_epochs=4, criteria_sample_size=10,
+            embedding_dim=8, seed=0,
+        )
+    ).fit(table)
+    return fitted.save(tmp_path_factory.mktemp("artifact"))
+
+
+def copy_artifact(artifact_dir, tmp_path):
+    out = tmp_path / "artifact"
+    out.mkdir()
+    for name in ("manifest.json", "arrays.npz"):
+        (out / name).write_bytes((artifact_dir / name).read_bytes())
+    return out
+
+
+def rewrite_manifest(directory, **changes):
+    """Apply ``changes`` and re-sign whatever the load path checks
+    *after* the field under test, so the intended check is the one
+    that fires."""
+    path = directory / "manifest.json"
+    manifest = json.loads(path.read_text())
+    manifest.update(changes)
+    path.write_text(json.dumps(manifest) + "\n")
+
+
+class TestCorruptArtifacts:
+    def test_truncated_arrays_fails_with_actionable_message(
+        self, artifact_dir, tmp_path
+    ):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        payload = (broken / "arrays.npz").read_bytes()
+        (broken / "arrays.npz").write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            DetectorArtifact.load(broken)
+
+    def test_truncated_arrays_with_matching_checksum_still_fails(
+        self, artifact_dir, tmp_path
+    ):
+        # A truncation that happened *before* signing (or a re-signed
+        # tamper) gets past the checksum; the zip layer must still be
+        # reported as an ArtifactError, not a BadZipFile.
+        broken = copy_artifact(artifact_dir, tmp_path)
+        payload = (broken / "arrays.npz").read_bytes()[:100]
+        (broken / "arrays.npz").write_bytes(payload)
+        rewrite_manifest(
+            broken, arrays_sha256=hashlib.sha256(payload).hexdigest()
+        )
+        with pytest.raises(ArtifactError, match="not a valid array bundle"):
+            DetectorArtifact.load(broken)
+
+    def test_unknown_future_version_is_refused_by_name(
+        self, artifact_dir, tmp_path
+    ):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        rewrite_manifest(broken, version=99)
+        with pytest.raises(
+            ArtifactError, match="version 99 is not supported"
+        ):
+            DetectorArtifact.load(broken)
+
+    def test_zero_byte_manifest(self, artifact_dir, tmp_path):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        (broken / "manifest.json").write_bytes(b"")
+        with pytest.raises(ArtifactError, match="not a valid manifest"):
+            DetectorArtifact.load(broken)
+
+    def test_zero_byte_arrays(self, artifact_dir, tmp_path):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        (broken / "arrays.npz").write_bytes(b"")
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            DetectorArtifact.load(broken)
+
+    def test_missing_files_name_the_missing_piece(
+        self, artifact_dir, tmp_path
+    ):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        (broken / "arrays.npz").unlink()
+        with pytest.raises(ArtifactError, match="arrays.npz"):
+            DetectorArtifact.load(broken)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ArtifactError, match="manifest.json"):
+            DetectorArtifact.load(empty)
+
+    def test_missing_per_attribute_array_surfaces_as_artifact_error(
+        self, artifact_dir, tmp_path
+    ):
+        broken = copy_artifact(artifact_dir, tmp_path)
+        artifact = DetectorArtifact.load(broken)
+        # Simulate a bundle that lost one attribute's arrays.
+        artifact.arrays.pop("a0_values")
+        with pytest.raises(ArtifactError, match="could not be restored"):
+            artifact.restore()
+
+    def test_resilience_key_is_optional_for_old_artifacts(
+        self, artifact_dir, tmp_path
+    ):
+        # Pre-PR-6 artifacts carry no "resilience" manifest key; they
+        # must load and report an unknown (None) degradation state.
+        old = copy_artifact(artifact_dir, tmp_path)
+        path = old / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest.pop("resilience")
+        path.write_text(json.dumps(manifest) + "\n")
+        state = DetectorArtifact.load(old).restore()
+        assert state.info["resilience"] is None

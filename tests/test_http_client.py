@@ -1,6 +1,7 @@
 """Tests for the HTTP chat client and its response parsers (offline)."""
 
 import json
+import urllib.error
 
 import pytest
 
@@ -157,3 +158,134 @@ class TestHTTPChatLLM:
         client = HTTPChatLLM("http://x", "m", transport=bad)
         with pytest.raises(LLMError):
             client.complete(LLMRequest(kind="guideline", prompt="p"))
+
+
+class TestUrllibTransportErrors:
+    """PR 6 satellite: HTTP error bodies must survive into the raised
+    LLMError (status + truncated body), not be swallowed."""
+
+    def make_http_error(self, code=429, body=b'{"error": "rate limited"}'):
+        import io
+
+        return urllib.error.HTTPError(
+            url="http://api/v1/chat/completions",
+            code=code,
+            msg="Too Many Requests",
+            hdrs=None,
+            fp=io.BytesIO(body),
+        )
+
+    def patch_urlopen(self, monkeypatch, exc):
+        def fake_urlopen(request, timeout=None):
+            raise exc
+
+        monkeypatch.setattr(
+            "urllib.request.urlopen", fake_urlopen
+        )
+
+    def test_http_error_surfaces_status_and_body(self, monkeypatch):
+        from repro.llm.http_client import urllib_transport
+
+        self.patch_urlopen(monkeypatch, self.make_http_error())
+        with pytest.raises(LLMError) as excinfo:
+            urllib_transport("http://api/v1/chat/completions", {}, b"{}", 5.0)
+        assert excinfo.value.status_code == 429
+        assert "HTTP 429" in str(excinfo.value)
+        assert "rate limited" in str(excinfo.value)
+
+    def test_http_error_body_is_truncated(self, monkeypatch):
+        from repro.llm.http_client import ERROR_BODY_LIMIT, urllib_transport
+
+        huge = b"x" * (ERROR_BODY_LIMIT * 10)
+        self.patch_urlopen(monkeypatch, self.make_http_error(500, huge))
+        with pytest.raises(LLMError) as excinfo:
+            urllib_transport("http://api", {}, b"{}", 5.0)
+        assert excinfo.value.status_code == 500
+        assert len(str(excinfo.value)) < ERROR_BODY_LIMIT + 200
+
+    def test_socket_timeout_becomes_llm_timeout_error(self, monkeypatch):
+        from repro.errors import LLMTimeoutError
+        from repro.llm.http_client import urllib_transport
+
+        self.patch_urlopen(monkeypatch, TimeoutError("timed out"))
+        with pytest.raises(LLMTimeoutError, match="timed out after"):
+            urllib_transport("http://api", {}, b"{}", 5.0)
+
+    def test_url_error_with_timeout_reason(self, monkeypatch):
+        from repro.errors import LLMTimeoutError
+        from repro.llm.http_client import urllib_transport
+
+        self.patch_urlopen(
+            monkeypatch, urllib.error.URLError(TimeoutError("slow"))
+        )
+        with pytest.raises(LLMTimeoutError):
+            urllib_transport("http://api", {}, b"{}", 5.0)
+
+    def test_url_error_other_reason_keeps_no_status(self, monkeypatch):
+        self.patch_urlopen(
+            monkeypatch, urllib.error.URLError(OSError("unreachable"))
+        )
+        from repro.llm.http_client import urllib_transport
+
+        with pytest.raises(LLMError) as excinfo:
+            urllib_transport("http://api", {}, b"{}", 5.0)
+        assert excinfo.value.status_code is None  # retryable
+        assert "unreachable" in str(excinfo.value)
+
+    def test_client_preserves_transport_status_code(self):
+        def rate_limited(url, headers, body, timeout):
+            raise LLMError("HTTP 429 from api: slow down", status_code=429)
+
+        client = HTTPChatLLM("http://x", "m", transport=rate_limited)
+        with pytest.raises(LLMError) as excinfo:
+            client.complete(LLMRequest(kind="guideline", prompt="p"))
+        assert excinfo.value.status_code == 429
+
+
+class TestFaultyTransport:
+    """The wire-level fault injector drives the real client+resilience
+    stack exactly like a flaky HTTP API."""
+
+    def test_faults_then_recovery_through_resilience(self):
+        from repro.llm.faults import FaultPlan, FaultyTransport
+        from repro.llm.resilience import ResilientLLM, RetryPolicy
+
+        inner = fake_transport("the guideline")
+        flaky = FaultyTransport(
+            inner,
+            FaultPlan(
+                timeout_rate=0.25, http_error_rate=0.25,
+                malformed_rate=0.25, seed=3, max_faults=2,
+            ),
+        )
+        client = ResilientLLM(
+            HTTPChatLLM("http://x", "m", transport=flaky),
+            RetryPolicy(max_retries=3, backoff_base_s=0.0),
+            sleep=lambda _s: None,
+        )
+        response = client.complete(
+            LLMRequest(kind="guideline", prompt="p")
+        )
+        assert response.payload == "the guideline"
+        stats = client.stats.summary()
+        assert stats["failed_attempts"] == flaky.stats.n_raised
+        assert stats["failed_calls"] == 0
+
+    def test_truncated_wire_reply_is_malformed_then_retried(self):
+        from repro.llm.faults import FaultPlan, FaultyTransport
+        from repro.llm.resilience import ResilientLLM, RetryPolicy
+
+        flaky = FaultyTransport(
+            fake_transport("fine"),
+            FaultPlan(truncate_rate=1.0, seed=0, max_faults=1),
+        )
+        client = ResilientLLM(
+            HTTPChatLLM("http://x", "m", transport=flaky),
+            RetryPolicy(max_retries=2, backoff_base_s=0.0),
+            sleep=lambda _s: None,
+        )
+        # A truncated JSON body fails to parse -> malformed -> retried.
+        assert client.complete(
+            LLMRequest(kind="guideline", prompt="p")
+        ).payload == "fine"
+        assert client.stats.summary()["retries"] == 1

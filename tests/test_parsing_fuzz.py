@@ -1,0 +1,132 @@
+"""Fuzz the LLM reply parsers: real models return truncated, empty and
+garbage text, and a parse miss must degrade to "no answer" — never an
+``IndexError``/``KeyError``/``AttributeError`` from inside the parser.
+
+Two layers: a hand-picked corpus of the failure shapes the fault
+injector produces (mid-token truncations, half-closed fences, JSON
+fragments), then hypothesis over arbitrary unicode and over truncated
+prefixes of *valid* replies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm import parsing
+
+#: Replies shaped like what FaultyLLM/FaultyTransport leave behind.
+CORPUS = [
+    "",
+    " ",
+    "\n\n\n",
+    '{"choices": [{"mess',          # FaultyTransport's malformed body
+    "```python\ndef is_clean_x(row",  # fence truncated mid-signature
+    "```python\n",                  # fence with nothing inside
+    "```",
+    "def ",                         # bare def, no name
+    "def f(",
+    "1, 0, 1, 1, 0",
+    "yes no yes",
+    "attr: yes\nattr2:",
+    "- value one\n- val",
+    "NaN NaN NaN",
+    "\x00\x01\x02",
+    "ï¿½ï¿½ï¿½",
+    "```python\ndef is_clean_a(row, attr):\n    return row[",
+    "0" * 10_000,
+    "row['unterminated",
+]
+
+SAFE = (IndexError, KeyError, AttributeError, TypeError)
+
+
+def assert_all_parsers_survive(text: str):
+    blocks = parsing.extract_code_blocks(text)
+    assert isinstance(blocks, list)
+    for block in blocks:
+        for name, source in parsing.split_functions(block):
+            assert isinstance(name, str) and isinstance(source, str)
+
+    specs = parsing.parse_criteria(text, attr="City")
+    assert all(
+        isinstance(s["name"], str)
+        and isinstance(s["source"], str)
+        and isinstance(s["context_attrs"], list)
+        for s in specs
+    )
+
+    funcs = parsing.parse_analysis_functions(text)
+    assert all("name" in f and "source" in f for f in funcs)
+
+    labels = parsing.parse_labels(text, expected=7)
+    assert len(labels) == 7
+    assert set(labels) <= {0, 1}
+
+    values = parsing.parse_values(text, limit=5)
+    assert len(values) <= 5
+    assert all(isinstance(v, str) for v in values)
+
+    verdicts = parsing.parse_tuple_verdicts(text)
+    assert all(
+        isinstance(k, str) and isinstance(v, bool)
+        for k, v in verdicts.items()
+    )
+
+
+class TestCorpus:
+    @pytest.mark.parametrize(
+        "text", CORPUS, ids=[f"corpus_{i}" for i in range(len(CORPUS))]
+    )
+    def test_parsers_never_crash_on_corpus(self, text):
+        try:
+            assert_all_parsers_survive(text)
+        except SAFE as exc:  # pragma: no cover - the bug being guarded
+            pytest.fail(f"parser crashed with {type(exc).__name__}: {exc}")
+
+
+class TestHypothesis:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=400))
+    def test_parsers_never_crash_on_arbitrary_text(self, text):
+        try:
+            assert_all_parsers_survive(text)
+        except SAFE as exc:
+            raise AssertionError(
+                f"parser crashed with {type(exc).__name__}: {exc!r} "
+                f"on input {text!r}"
+            ) from None
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_truncated_valid_reply_parses_cleanly(self, cut):
+        """Every prefix of a well-formed reply (the truncation fault's
+        output) must parse without crashing."""
+        full = (
+            "Here are the checks:\n"
+            "```python\n"
+            "def is_clean_nonempty(row, attr):\n"
+            "    return bool(row[attr])\n"
+            "\n"
+            "def is_clean_state(row, attr):\n"
+            "    return row['State'] in row.get('Region', '')\n"
+            "```\n"
+            "Labels: 1, 0, 1\n"
+            "City: yes\nState: no\n"
+        )
+        assert_all_parsers_survive(full[:cut])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=200), st.integers(min_value=0, max_value=30))
+    def test_parse_labels_always_complete_and_binary(self, text, expected):
+        labels = parsing.parse_labels(text, expected=expected)
+        assert len(labels) == expected
+        assert set(labels) <= {0, 1}
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=200))
+    def test_parse_values_strips_decorations(self, text):
+        for value in parsing.parse_values(text):
+            assert value == value.strip()
+            assert value  # never emits empty strings

@@ -1,0 +1,476 @@
+"""Resilience layer: retries, backoff, breaker, timeout, checkpoints.
+
+Everything here is deterministic and offline — sleeps and clocks are
+injected, failures are scripted — so the failure path is tested as
+tightly as the happy path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import get_dataset
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    LLMError,
+    LLMTimeoutError,
+)
+from repro.llm.checkpoint import CheckpointedLLM, fit_fingerprint
+from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.llm.faults import FaultPlan, FaultyLLM
+from repro.llm.resilience import (
+    ResilientLLM,
+    RetryPolicy,
+    is_retryable,
+)
+from repro.llm.simulated.engine import SimulatedLLM
+
+
+class ScriptedLLM(LLMClient):
+    """Replays a script of responses (str) and failures (Exception)."""
+
+    def __init__(self, script):
+        super().__init__()
+        self.script = list(script)
+        self.calls = 0
+
+    @property
+    def model_name(self) -> str:
+        return "scripted"
+
+    def _complete(self, request: LLMRequest) -> LLMResponse:
+        self.calls += 1
+        item = self.script.pop(0) if self.script else "default"
+        if isinstance(item, Exception):
+            raise item
+        return LLMResponse(text=item, payload=item)
+
+
+def req(kind="guideline", prompt="p"):
+    return LLMRequest(kind=kind, prompt=prompt, payload={})
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+class TestRetryability:
+    def test_status_less_failures_are_retryable(self):
+        assert is_retryable(LLMError("boom"))
+        assert is_retryable(LLMTimeoutError("slow"))
+
+    @pytest.mark.parametrize("status", [408, 429, 500, 502, 503])
+    def test_transient_statuses_are_retryable(self, status):
+        assert is_retryable(LLMError("x", status_code=status))
+
+    @pytest.mark.parametrize("status", [400, 401, 403, 404, 422])
+    def test_permanent_statuses_are_not(self, status):
+        assert not is_retryable(LLMError("x", status_code=status))
+
+    def test_open_circuit_is_never_retryable(self):
+        assert not is_retryable(CircuitOpenError("open"))
+
+
+class TestRetryPolicy:
+    def test_from_config_maps_every_knob(self):
+        config = ZeroEDConfig(
+            llm_max_retries=5,
+            llm_backoff_s=0.25,
+            llm_backoff_max_s=4.0,
+            llm_timeout_s=7.5,
+            llm_breaker_threshold=3,
+            llm_breaker_cooldown_s=9.0,
+        )
+        policy = RetryPolicy.from_config(config)
+        assert policy.max_retries == 5
+        assert policy.backoff_base_s == 0.25
+        assert policy.backoff_max_s == 4.0
+        assert policy.timeout_s == 7.5
+        assert policy.breaker_threshold == 3
+        assert policy.breaker_cooldown_s == 9.0
+
+    def test_config_validates_resilience_knobs(self):
+        with pytest.raises(ConfigError):
+            ZeroEDConfig(llm_max_retries=-1)
+        with pytest.raises(ConfigError):
+            ZeroEDConfig(llm_backoff_s=-0.1)
+        with pytest.raises(ConfigError):
+            ZeroEDConfig(llm_timeout_s=0)
+        with pytest.raises(ConfigError):
+            ZeroEDConfig(llm_breaker_threshold=-2)
+
+
+# ----------------------------------------------------------------------
+class TestResilientLLM:
+    def test_success_passes_through_untouched(self):
+        inner = ScriptedLLM(["hello"])
+        client = ResilientLLM(inner)
+        response = client.complete(req())
+        assert response.text == "hello"
+        summary = client.stats.summary()
+        assert summary["calls"] == 1
+        assert summary["attempts"] == 1
+        assert summary["failed_attempts"] == 0
+
+    def test_ledger_is_shared_and_counts_once(self):
+        inner = ScriptedLLM(["hello"])
+        client = ResilientLLM(inner)
+        assert client.ledger is inner.ledger
+        client.complete(req())
+        assert client.ledger.summary()["requests"] == 1
+
+    def test_model_name_passthrough(self):
+        assert ResilientLLM(ScriptedLLM([])).model_name == "scripted"
+
+    def test_retries_until_success(self):
+        sleeps = []
+        inner = ScriptedLLM([LLMError("a"), LLMError("b"), "ok"])
+        client = ResilientLLM(
+            inner, RetryPolicy(max_retries=2), sleep=sleeps.append
+        )
+        assert client.complete(req()).text == "ok"
+        summary = client.stats.summary()
+        assert summary["attempts"] == 3
+        assert summary["failed_attempts"] == 2
+        assert summary["retries"] == 2
+        assert summary["failed_calls"] == 0
+        assert len(sleeps) == 2
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        sleeps = []
+        inner = ScriptedLLM([LLMError(str(i)) for i in range(4)] + ["ok"])
+        client = ResilientLLM(
+            inner,
+            RetryPolicy(
+                max_retries=4, backoff_base_s=1.0, backoff_max_s=3.0,
+                jitter=0.0,
+            ),
+            sleep=sleeps.append,
+        )
+        client.complete(req())
+        assert sleeps == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            sleeps = []
+            client = ResilientLLM(
+                ScriptedLLM([LLMError("x"), LLMError("y"), "ok"]),
+                RetryPolicy(max_retries=2),
+                seed=seed,
+                sleep=sleeps.append,
+            )
+            client.complete(req(prompt="same prompt"))
+            return sleeps
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_exhausted_retries_raise_with_exact_accounting(self):
+        inner = ScriptedLLM([LLMError("a"), LLMError("b"), LLMError("c")])
+        client = ResilientLLM(
+            inner, RetryPolicy(max_retries=2), sleep=lambda _s: None
+        )
+        with pytest.raises(LLMError, match="c"):
+            client.complete(req())
+        summary = client.stats.summary()
+        assert summary["failed_attempts"] == 3
+        assert summary["retries"] == 2
+        assert summary["failed_calls"] == 1
+        # The invariant the chaos suite leans on:
+        assert (
+            summary["failed_attempts"]
+            == summary["retries"] + summary["failed_calls"]
+        )
+
+    def test_permanent_status_fails_without_retry(self):
+        inner = ScriptedLLM([LLMError("gone", status_code=404), "ok"])
+        client = ResilientLLM(inner, RetryPolicy(max_retries=5))
+        with pytest.raises(LLMError, match="gone"):
+            client.complete(req())
+        assert client.stats.summary()["attempts"] == 1
+        assert inner.calls == 1
+
+    def test_failures_counted_by_request_kind(self):
+        inner = ScriptedLLM([LLMError("x"), "ok"])
+        client = ResilientLLM(
+            inner, RetryPolicy(max_retries=1), sleep=lambda _s: None
+        )
+        client.complete(req(kind="label_batch"))
+        assert client.stats.summary()["failures_by_kind"] == {
+            "label_batch": 1
+        }
+
+    def test_non_llm_exceptions_are_not_retried(self):
+        inner = ScriptedLLM([ValueError("bug"), "ok"])
+        client = ResilientLLM(inner, RetryPolicy(max_retries=5))
+        with pytest.raises(ValueError):
+            client.complete(req())
+        assert inner.calls == 1
+
+    def test_per_call_timeout_raises_timeout_error(self):
+        class SlowLLM(ScriptedLLM):
+            def _complete(self, request):
+                time.sleep(0.5)
+                return LLMResponse(text="late", payload=None)
+
+        client = ResilientLLM(
+            SlowLLM([]),
+            RetryPolicy(max_retries=0, timeout_s=0.05),
+        )
+        start = time.monotonic()
+        with pytest.raises(LLMTimeoutError, match="per-call timeout"):
+            client.complete(req())
+        assert time.monotonic() - start < 0.4  # did not wait out the call
+
+    def test_timeout_disabled_means_no_watchdog_thread(self, monkeypatch):
+        from repro.llm import resilience as resilience_module
+
+        def no_threads(*args, **kwargs):
+            raise AssertionError("no watchdog expected without timeout_s")
+
+        monkeypatch.setattr(
+            resilience_module.threading, "Thread", no_threads
+        )
+        client = ResilientLLM(ScriptedLLM(["ok"]), RetryPolicy())
+        assert client.complete(req()).text == "ok"
+
+
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, script, threshold=2, cooldown=10.0):
+        clock = FakeClock()
+        client = ResilientLLM(
+            ScriptedLLM(script),
+            RetryPolicy(
+                max_retries=0,
+                breaker_threshold=threshold,
+                breaker_cooldown_s=cooldown,
+            ),
+            sleep=lambda _s: None,
+            clock=clock,
+        )
+        return client, clock
+
+    def test_opens_after_consecutive_failures(self):
+        client, _clock = self.make([LLMError("a"), LLMError("b"), "never"])
+        for _ in range(2):
+            with pytest.raises(LLMError):
+                client.complete(req())
+        assert client.breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.complete(req())
+        summary = client.stats.summary()
+        assert summary["short_circuited"] == 1
+        assert summary["breaker_opens"] == 1
+        # Short-circuited calls never reach the backend:
+        assert client.inner.calls == 2
+
+    def test_success_resets_the_failure_streak(self):
+        client, _clock = self.make(
+            [LLMError("a"), "fine", LLMError("b"), "fine again"]
+        )
+        with pytest.raises(LLMError):
+            client.complete(req())
+        assert client.complete(req()).text == "fine"
+        with pytest.raises(LLMError):
+            client.complete(req())
+        # Two failures total but never two *consecutive*: still closed.
+        assert client.breaker.state == "closed"
+        assert client.complete(req()).text == "fine again"
+
+    def test_half_open_probe_closes_on_success(self):
+        client, clock = self.make([LLMError("a"), LLMError("b"), "recovered"])
+        for _ in range(2):
+            with pytest.raises(LLMError):
+                client.complete(req())
+        clock.now = 11.0  # past the cooldown: next call is the probe
+        assert client.complete(req()).text == "recovered"
+        assert client.breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        client, clock = self.make(
+            [LLMError("a"), LLMError("b"), LLMError("still down")]
+        )
+        for _ in range(2):
+            with pytest.raises(LLMError):
+                client.complete(req())
+        clock.now = 11.0
+        with pytest.raises(LLMError, match="still down"):
+            client.complete(req())
+        assert client.breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.complete(req())
+
+    def test_zero_threshold_disables_the_breaker(self):
+        client, _clock = self.make(
+            [LLMError(str(i)) for i in range(5)], threshold=0
+        )
+        for _ in range(5):
+            with pytest.raises(LLMError):
+                client.complete(req())
+        assert client.breaker.state == "closed"
+        assert client.stats.summary()["short_circuited"] == 0
+
+    def test_snapshot_shape(self):
+        client, _clock = self.make(["ok"])
+        snap = client.breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["threshold"] == 2
+        assert "consecutive_failures" in snap and "opens" in snap
+
+
+# ----------------------------------------------------------------------
+class TestCheckpointedLLM:
+    def fingerprint(self):
+        return "f" * 64
+
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        request = LLMRequest(
+            kind="guideline", prompt="p", payload={"attr": "city"}
+        )
+        first = CheckpointedLLM(
+            ScriptedLLM(["answer"]), tmp_path, self.fingerprint()
+        )
+        assert first.complete(request).text == "answer"
+        assert first.summary()["misses"] == 1
+        assert (tmp_path / "attr-city.json").exists()
+
+        # A fresh process: new wrapper, backend that would answer
+        # differently — the checkpoint must win and spend no tokens.
+        inner = ScriptedLLM(["WRONG"])
+        second = CheckpointedLLM(inner, tmp_path, self.fingerprint())
+        response = second.complete(request)
+        assert response.text == "answer"
+        assert second.summary()["hits"] == 1
+        assert inner.calls == 0
+        assert second.ledger.summary()["requests"] == 0
+
+    def test_stale_fingerprint_ignores_old_files(self, tmp_path):
+        request = LLMRequest(
+            kind="guideline", prompt="p", payload={"attr": "city"}
+        )
+        CheckpointedLLM(
+            ScriptedLLM(["old"]), tmp_path, "a" * 64
+        ).complete(request)
+        inner = ScriptedLLM(["new"])
+        client = CheckpointedLLM(inner, tmp_path, "b" * 64)
+        assert client.complete(request).text == "new"
+        assert inner.calls == 1
+
+    def test_different_prompts_get_different_keys(self, tmp_path):
+        client = CheckpointedLLM(
+            ScriptedLLM(["one", "two"]), tmp_path, self.fingerprint()
+        )
+        r1 = client.complete(req(prompt="alpha"))
+        r2 = client.complete(req(prompt="beta"))
+        assert (r1.text, r2.text) == ("one", "two")
+        assert client.summary()["misses"] == 2
+
+    def test_unserializable_payload_served_but_not_cached(self, tmp_path):
+        class ObjectLLM(ScriptedLLM):
+            def _complete(self, request):
+                self.calls += 1
+                return LLMResponse(text="t", payload=object())
+
+        inner = ObjectLLM([])
+        client = CheckpointedLLM(inner, tmp_path, self.fingerprint())
+        client.complete(req(prompt="x"))
+        client2 = CheckpointedLLM(inner, tmp_path, self.fingerprint())
+        client2.complete(req(prompt="x"))
+        assert inner.calls == 2  # second run was a miss again
+
+    def test_fingerprint_tracks_workload_identity(self):
+        table = get_dataset("hospital").make(n_rows=50, seed=0).dirty
+        config = ZeroEDConfig()
+        base = fit_fingerprint(table, config, "m")
+        assert fit_fingerprint(table, config, "m") == base
+        assert fit_fingerprint(table, config, "other-model") != base
+        assert (
+            fit_fingerprint(table, ZeroEDConfig(seed=9), "m") != base
+        )
+        smaller = get_dataset("hospital").make(n_rows=40, seed=0).dirty
+        assert fit_fingerprint(smaller, config, "m") != base
+
+
+# ----------------------------------------------------------------------
+class TestPipelineIntegration:
+    def fast_config(self, **kw):
+        return ZeroEDConfig(
+            label_rate=0.1,
+            mlp_epochs=4,
+            criteria_sample_size=10,
+            embedding_dim=8,
+            llm_backoff_s=0.0,
+            seed=0,
+            **kw,
+        )
+
+    def test_default_fit_reports_empty_degradation(self, tmp_path):
+        table = get_dataset("hospital").make(n_rows=80, seed=1).dirty
+        fitted = ZeroED(self.fast_config()).fit(table)
+        assert fitted.details["degraded_attrs"] == {}
+        res = fitted.details["resilience"]
+        assert res["failed_attempts"] == 0
+        assert res["breaker"]["state"] == "closed"
+
+    def test_checkpoint_resume_spends_zero_tokens(self, tmp_path):
+        table = get_dataset("hospital").make(n_rows=80, seed=1).dirty
+        config = self.fast_config(checkpoint_dir=str(tmp_path))
+        first = ZeroED(config).fit(table)
+        spent = first.ledger_summary["input_tokens"]
+        assert spent > 0
+        assert first.details["resilience"]["checkpoint"]["hits"] == 0
+
+        second = ZeroED(config).fit(table)
+        assert second.ledger_summary["input_tokens"] == 0
+        checkpoint = second.details["resilience"]["checkpoint"]
+        assert checkpoint["misses"] == 0 and checkpoint["hits"] > 0
+        # Resumed fit is the same fit:
+        assert (
+            second.score(table).mask.matrix
+            == first.score(table).mask.matrix
+        ).all()
+
+    def test_degradation_disabled_fails_fast(self):
+        table = get_dataset("hospital").make(n_rows=60, seed=1).dirty
+        config = self.fast_config(
+            degrade_on_failure=False, llm_max_retries=0
+        )
+        faulty = FaultyLLM(
+            SimulatedLLM(seed=0),
+            FaultPlan(malformed_rate=1.0, kinds=("criteria",), seed=0),
+        )
+        with pytest.raises(LLMError, match="malformed"):
+            ZeroED(config, llm=faulty).fit(table)
+
+    def test_all_labeling_failures_degrade_every_attribute(self):
+        table = get_dataset("hospital").make(n_rows=60, seed=1).dirty
+        config = self.fast_config(llm_max_retries=1)
+        faulty = FaultyLLM(
+            SimulatedLLM(seed=0),
+            FaultPlan(timeout_rate=1.0, kinds=("label_batch",), seed=0),
+        )
+        fitted = ZeroED(config, llm=faulty).fit(table)
+        degraded = fitted.details["degraded_attrs"]
+        assert set(degraded) == set(table.attributes)
+        assert all("labeling" in stages for stages in degraded.values())
+        # The fit still produced a scoreable detector:
+        mask = fitted.score(table).mask
+        assert mask.matrix.shape == (table.n_rows, table.n_attributes)
+
+    def test_caller_supplied_resilient_llm_is_respected(self):
+        table = get_dataset("hospital").make(n_rows=60, seed=1).dirty
+        inner = SimulatedLLM(seed=0)
+        client = ResilientLLM(inner, RetryPolicy(max_retries=7))
+        fitted = ZeroED(self.fast_config(), llm=client).fit(table)
+        assert fitted.llm is client  # not re-wrapped

@@ -182,3 +182,81 @@ class TestMicroBatching:
         assert status == 200
         assert payload["batches"] >= 1
         assert payload["rows_scored"] >= 1
+
+
+class TestHardening:
+    """PR 6: structured error codes, payload cap, resilience health."""
+
+    @pytest.fixture(scope="class")
+    def capped_service(self, scorer):
+        svc = ScoringService(
+            scorer,
+            port=0,
+            max_body_bytes=2048,
+            breaker_state=lambda: {"state": "closed", "opens": 0},
+        ).start()
+        yield svc
+        svc.stop()
+
+    def test_error_codes_are_stable(self, service):
+        _status, payload = _post(service.url + "/score", b"{nope")
+        assert payload["code"] == "invalid_json"
+        _status, payload = _post(service.url + "/score", {"rows": "nope"})
+        assert payload["code"] == "bad_request"
+        _status, payload = _post(service.url + "/other", {"rows": []})
+        assert payload["code"] == "not_found"
+        _status, payload = _get(service.url + "/nope")
+        assert payload["code"] == "not_found"
+
+    def test_error_field_stays_a_string(self, service):
+        # Wire contract: clients parse payload["error"] as a plain
+        # message; "code" rides alongside, it does not replace it.
+        _status, payload = _post(service.url + "/score", {"rows": "nope"})
+        assert isinstance(payload["error"], str) and payload["error"]
+
+    def test_oversized_body_gets_413(self, capped_service, scorer):
+        attr = scorer.attributes[0]
+        rows = [{attr: "x" * 100} for _ in range(200)]  # >> 2048 bytes
+        status, payload = _post(capped_service.url + "/score", {"rows": rows})
+        assert status == 413
+        assert payload["code"] == "payload_too_large"
+        assert "2048" in payload["error"]
+
+    def test_small_body_passes_the_cap(self, capped_service, scorer):
+        attr = scorer.attributes[0]
+        status, payload = _post(
+            capped_service.url + "/score", {"rows": [{attr: "v"}]}
+        )
+        assert status == 200
+        assert len(payload["flags"]) == 1
+
+    def test_healthz_reports_degradation_and_breaker(self, capped_service):
+        status, payload = _get(capped_service.url + "/healthz")
+        assert status == 200
+        assert payload["degraded_attrs"] == {}
+        assert payload["circuit_breaker"] == {"state": "closed", "opens": 0}
+
+    def test_healthz_without_breaker_reports_null(self, service):
+        _status, payload = _get(service.url + "/healthz")
+        assert payload["circuit_breaker"] is None
+        assert payload["degraded_attrs"] == {}
+
+    def test_healthz_surfaces_degraded_attrs_from_artifact(self, scorer):
+        original = scorer.info
+        scorer.info = dict(
+            original,
+            resilience={"degraded_attrs": {"City": ["labeling"]}},
+        )
+        try:
+            svc = ScoringService(scorer, port=0).start()
+            try:
+                _status, payload = _get(svc.url + "/healthz")
+                assert payload["degraded_attrs"] == {"City": ["labeling"]}
+            finally:
+                svc.stop()
+        finally:
+            scorer.info = original
+
+    def test_artifact_endpoint_carries_resilience_block(self, service):
+        _status, payload = _get(service.url + "/artifact")
+        assert payload["resilience"] == {"degraded_attrs": {}}
