@@ -98,6 +98,25 @@ def main() -> None:
     #    to pattern/frequency-only detection and are listed in
     #    fitted.details["degraded_attrs"].
 
+    # 7. Out-of-core: million-row tables with bounded memory.  For a
+    #    table too big to fit (or even to load), fit on a seeded
+    #    reservoir sample and stream-score the full file shard-by-
+    #    shard — the chunked mask is byte-identical to the in-memory
+    #    one for every chunk size and worker count:
+    #
+    #        repro fit --csv big.csv --sample-rows 5000 \
+    #              --artifact-out art/      # one streaming pass samples
+    #                                       # the fit rows; provenance
+    #                                       # lands in the manifest
+    #        repro score-csv big.csv --artifact art/ \
+    #              --chunk-rows 50000 --jobs 4 \
+    #              --manifest-out scores.json   # per-shard checksums
+    #
+    #    or in code: ZeroED(sample_rows=5000).fit(table), then
+    #    scorer.score_csv(path, chunk_rows=50_000, n_jobs=4).
+    #    See BENCH_streaming.json for recorded rows/s and peak-memory
+    #    figures at 100k / 1M rows.
+
 
 if __name__ == "__main__":
     main()

@@ -7,7 +7,11 @@ Subcommands::
     repro detect beers [--method zeroed] run a detector, print P/R/F1
     repro detect-csv dirty.csv           detect on your own CSV
     repro fit beers --artifact-out art/  train once, persist the detector
+    repro fit --csv big.csv --sample-rows 5000 --artifact-out art/
+                                         out-of-core fit on a reservoir sample
     repro score-csv new.csv --artifact art/   warm-score unseen rows
+    repro score-csv big.csv --artifact art/ --chunk-rows 50000
+                                         stream-score shard-by-shard
     repro serve --artifact art/          HTTP scoring service
     repro compare [--datasets a,b] ...   Table III-style grid
     repro repair beers                   detect then suggest repairs
@@ -172,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifact-out", required=True,
                    help="directory for the saved detector artifact "
                         "(manifest.json + arrays.npz)")
+    p.add_argument("--sample-rows", type=int, default=None, metavar="N",
+                   help="fit on a seeded reservoir sample of N rows "
+                        "drawn in one streaming pass (out-of-core for "
+                        "--csv sources); the artifact records the "
+                        "sample provenance and still scores full "
+                        "tables chunk-by-chunk")
     _add_zeroed_flags(p)
     _add_engine_flags(p)
     _add_common(p)
@@ -185,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="detector artifact directory written by "
                         "'repro fit --artifact-out'")
     _add_engine_flags(p, engines=False)
+    p.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                   help="stream the CSV in shards of N rows instead of "
+                        "loading it whole — bounded memory for "
+                        "arbitrarily large files; the mask is "
+                        "byte-identical to the in-memory path")
+    p.add_argument("--manifest-out", default=None, metavar="PATH",
+                   help="write the streaming scoring manifest (per-"
+                        "shard row offsets + SHA-256 mask checksums) "
+                        "as JSON; implies chunked scoring")
     p.add_argument("--mask-out", default=None)
 
     p = sub.add_parser(
@@ -273,15 +292,41 @@ def cmd_fit(args) -> int:
         print("fit needs exactly one of: a dataset name, or --csv",
               file=sys.stderr)
         return 2
+    config = _zeroed_config(args)
+    if args.sample_rows is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, sample_rows=args.sample_rows)
+    sample = None
     if args.csv is not None:
-        table = read_csv(args.csv)
-        if args.rows is not None:
-            table = table.head(args.rows)
+        if args.sample_rows is not None and args.rows is None:
+            # Out-of-core: one streaming reservoir pass over the file,
+            # never materializing it whole (ZeroED.fit then sees a
+            # table already within budget and fits it directly).
+            from repro.serving.streaming import reservoir_sample_csv
+
+            sample = reservoir_sample_csv(
+                args.csv, args.sample_rows, seed=args.seed
+            )
+            table = sample.table
+        else:
+            table = read_csv(args.csv)
+            if args.rows is not None:
+                table = table.head(args.rows)
     else:
         table = get_dataset(args.dataset).make(
             n_rows=args.rows, seed=args.seed
         ).dirty
-    fitted = ZeroED(_zeroed_config(args)).fit(table)
+    fitted = ZeroED(config).fit(table)
+    if sample is not None and sample.table.n_rows < sample.total_rows:
+        # The fit saw a pre-drawn sample; carry its provenance into
+        # the artifact manifest exactly as an in-memory sampled fit
+        # would.
+        fitted.details["sample"] = sample.provenance()
+    prov = fitted.details.get("sample")
+    if prov:
+        print(f"fitted on a reservoir sample: {prov['sampled_rows']} of "
+              f"{prov['source_rows']} rows (seed {prov['seed']})")
     degraded = fitted.details.get("degraded_attrs") or {}
     if degraded:
         print(f"warning: {len(degraded)} attribute(s) fell back to "
@@ -300,16 +345,32 @@ def cmd_score_csv(args) -> int:
     from repro.serving.scorer import BatchScorer
 
     scorer = BatchScorer.from_artifact(args.artifact, n_jobs=args.jobs)
-    table = read_csv(args.csv)
-    result = scorer.score_table(table)
-    n = result.mask.error_count()
-    print(f"flagged {n} cells "
-          f"({100 * result.mask.error_rate():.2f}% of {table.shape}) "
-          f"in {result.total_seconds:.2f}s, zero LLM calls")
-    for i, attr in result.mask.error_cells()[:20]:
-        print(f"  ({i}, {attr}) -> {table.cell(i, attr)!r}")
+    if args.chunk_rows is not None or args.manifest_out is not None:
+        # Out-of-core path: stream the file shard-by-shard; the mask
+        # is byte-identical to the in-memory path below.
+        result = scorer.score_csv(
+            args.csv, chunk_rows=args.chunk_rows, n_jobs=args.jobs
+        )
+        mask = result.mask
+        print(f"flagged {mask.error_count()} cells "
+              f"({100 * mask.error_rate():.2f}% of {mask.n_rows} rows) "
+              f"in {result.seconds:.2f}s "
+              f"({len(result.shards)} shards x <={result.chunk_rows} rows, "
+              f"{result.rows_per_s:.0f} rows/s), zero LLM calls")
+        if args.manifest_out:
+            result.write_manifest(args.manifest_out)
+            print(f"manifest written to {args.manifest_out}")
+    else:
+        table = read_csv(args.csv)
+        result = scorer.score_table(table)
+        mask = result.mask
+        print(f"flagged {mask.error_count()} cells "
+              f"({100 * mask.error_rate():.2f}% of {table.shape}) "
+              f"in {result.total_seconds:.2f}s, zero LLM calls")
+        for i, attr in mask.error_cells()[:20]:
+            print(f"  ({i}, {attr}) -> {table.cell(i, attr)!r}")
     if args.mask_out:
-        write_mask(result.mask, args.mask_out)
+        write_mask(mask, args.mask_out)
         print(f"mask written to {args.mask_out}")
     return 0
 

@@ -175,6 +175,23 @@ class ZeroEDConfig:
     rerun with the same table/seed/model resumes from disk without
     re-spending tokens (see :mod:`repro.llm.checkpoint`)."""
 
+    # --- out-of-core execution (streaming layer) ---
+    sample_rows: int | None = None
+    """Fit-time row budget: when set and the training table is larger,
+    :meth:`ZeroED.fit` draws a seeded reservoir sample of this many
+    rows in one streaming pass and runs the LLM-guided phase on the
+    sample only — the frozen statistics then score the full table
+    out-of-core through the chunked scorer.  The sample is
+    deterministic under ``seed`` and independent of how the row stream
+    is chunked.  ``None`` (default) fits on every row."""
+
+    chunk_rows: int | None = None
+    """Preferred shard size for out-of-core scoring
+    (``score-csv --chunk-rows`` / :mod:`repro.serving.streaming`).
+    ``None`` leaves the choice to the call site
+    (``streaming.DEFAULT_CHUNK_ROWS``); the chunked mask is
+    byte-identical to the in-memory one for every value."""
+
     # --- execution ---
     n_jobs: int = 1
     """Worker threads for the per-attribute stages (Step-2 sampling,
@@ -239,6 +256,12 @@ class ZeroEDConfig:
                 f"llm_breaker_threshold must be >= 0, "
                 f"got {self.llm_breaker_threshold}"
             )
+        for name in ("sample_rows", "chunk_rows"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1 or None, got {value}"
+                )
 
     def resolve_sampling_engine(self, n_rows: int) -> str:
         """Concrete Step-2 engine for a table of ``n_rows`` rows."""

@@ -107,6 +107,25 @@ class ZeroED:
         :class:`FittedZeroED` scores tables without further LLM calls.
         """
         config = self.config
+        # Out-of-core fit (streaming layer): with a sample_rows budget
+        # and a larger table, the LLM-guided phase runs on a seeded
+        # reservoir sample — the frozen statistics it produces then
+        # score the *full* table chunk-by-chunk through the serving
+        # layer.  Sampling happens before engine resolution so 'auto'
+        # sees the row count the fit actually runs on.
+        sample_info = None
+        if (
+            config.sample_rows is not None
+            and table.n_rows > config.sample_rows
+        ):
+            from repro.serving.streaming import reservoir_sample_chunks
+
+            sample = reservoir_sample_chunks(
+                [table], config.sample_rows, seed=config.seed,
+                source=table.name,
+            )
+            table = sample.table
+            sample_info = sample.provenance()
         # 'auto' engines resolve against this table's row count once,
         # up front: 'fast' at/above the ~2k-row crossover, 'exact'
         # below it (see config.AUTO_ENGINE_MIN_ROWS).
@@ -336,6 +355,9 @@ class ZeroED:
             for attr, stage_names in sorted(degraded.items())
         }
         details["resilience"] = self._resilience_summary(llm)
+        # Sample provenance rides into the artifact manifest (key
+        # "sample"); None means the fit saw every row.
+        details["sample"] = sample_info
         return FittedZeroED(
             config=config,
             llm=llm,

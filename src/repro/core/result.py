@@ -43,5 +43,18 @@ class DetectionResult:
         """Precision/recall/F1 against a ground-truth mask."""
         return score_masks(self.mask, truth)
 
+    def error_cells(self) -> list[tuple[int, str]]:
+        """Flagged ``(row, attribute)`` pairs in *global* row ids.
+
+        The mask's row ids are local to the scored table; when the
+        table was a shard of a larger stream the scorer records the
+        shard's position in ``details["row_offset"]`` and this method
+        applies it — consumers get stream-global ids instead of
+        silently 0-rebased ones (absent offset means 0, i.e. the table
+        was the whole stream).
+        """
+        offset = int(self.details.get("row_offset", 0))
+        return [(i + offset, attr) for i, attr in self.mask.error_cells()]
+
     def stage_summary(self) -> dict[str, float]:
         return {s.name: s.seconds for s in self.stages}

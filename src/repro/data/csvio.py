@@ -3,15 +3,55 @@
 Thin wrappers around :mod:`csv` that keep every cell a string and treat
 the first row as the header, matching how the cleaning benchmarks
 (Hospital, Flights, ...) are distributed.
+
+Two readers share one row-validation pass:
+
+* :func:`read_csv` materializes the whole file as a single table;
+* :func:`iter_csv_chunks` streams the same file as a sequence of
+  bounded-size tables — at no point does more than one chunk of rows
+  live in memory, which is what the out-of-core scoring path
+  (:mod:`repro.serving.streaming`) builds on.  Concatenating the
+  chunks reproduces :func:`read_csv` exactly, including the
+  short-row padding and long-row rejection rules.
 """
 
 from __future__ import annotations
 
 import csv
+from collections.abc import Iterator
 from pathlib import Path
 
 from repro.data.table import Table
 from repro.errors import DataError
+
+
+def _open_rows(path: Path):
+    """Open ``path`` and return ``(file_handle, reader, header)``."""
+    fh = path.open(newline="", encoding="utf-8")
+    reader = csv.reader(fh)
+    try:
+        header = next(reader)
+    except StopIteration:
+        fh.close()
+        raise DataError(f"{path} is empty") from None
+    except Exception:
+        fh.close()
+        raise
+    return fh, reader, header
+
+
+def _validate_row(
+    path: Path, lineno: int, row: list[str], header: list[str]
+) -> list[str]:
+    """The one row rule: pad short rows, reject long ones."""
+    if len(row) > len(header):
+        raise DataError(
+            f"{path}:{lineno} has {len(row)} cells, header has "
+            f"{len(header)}"
+        )
+    if len(row) < len(header):
+        row = row + [""] * (len(header) - len(row))
+    return row
 
 
 def read_csv(path: str | Path, name: str | None = None) -> Table:
@@ -21,23 +61,58 @@ def read_csv(path: str | Path, name: str | None = None) -> Table:
     with empty strings; longer rows raise :class:`DataError`.
     """
     path = Path(path)
-    with path.open(newline="", encoding="utf-8") as fh:
-        reader = csv.reader(fh)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise DataError(f"{path} is empty") from None
-        rows = []
-        for lineno, row in enumerate(reader, start=2):
-            if len(row) > len(header):
-                raise DataError(
-                    f"{path}:{lineno} has {len(row)} cells, header has "
-                    f"{len(header)}"
-                )
-            if len(row) < len(header):
-                row = row + [""] * (len(header) - len(row))
-            rows.append(row)
+    fh, reader, header = _open_rows(path)
+    with fh:
+        rows = [
+            _validate_row(path, lineno, row, header)
+            for lineno, row in enumerate(reader, start=2)
+        ]
     return Table.from_rows(header, rows, name=name or path.stem)
+
+
+def iter_csv_chunks(
+    path: str | Path,
+    chunk_rows: int,
+    name: str | None = None,
+) -> Iterator[Table]:
+    """Stream a CSV file as :class:`Table` chunks of ``chunk_rows`` rows.
+
+    A generator over the same file :func:`read_csv` would load, with
+    identical validation (header from the first row, short rows padded,
+    long rows rejected with :class:`DataError`) — but holding at most
+    one chunk of rows at a time.  Every chunk carries the full header
+    and the same ``name`` (default: the file stem), so each is
+    independently scoreable; concatenating all chunks in order yields
+    exactly ``read_csv(path)``.  The final chunk may be shorter; a
+    header-only file yields no chunks at all.
+    """
+    if chunk_rows < 1:
+        raise DataError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    path = Path(path)
+    name = name or path.stem
+    fh, reader, header = _open_rows(path)
+    with fh:
+        rows: list[list[str]] = []
+        for lineno, row in enumerate(reader, start=2):
+            rows.append(_validate_row(path, lineno, row, header))
+            if len(rows) == chunk_rows:
+                yield Table.from_rows(header, rows, name=name)
+                rows = []
+        if rows:
+            yield Table.from_rows(header, rows, name=name)
+
+
+def count_csv_rows(path: str | Path) -> int:
+    """Number of data rows in a CSV (header excluded), streamed.
+
+    Uses the csv parser (not line counting), so quoted embedded
+    newlines count as one row — the same row count the readers above
+    produce.
+    """
+    path = Path(path)
+    fh, reader, _header = _open_rows(path)
+    with fh:
+        return sum(1 for _ in reader)
 
 
 def write_csv(table: Table, path: str | Path) -> None:
@@ -46,5 +121,31 @@ def write_csv(table: Table, path: str | Path) -> None:
     with path.open("w", newline="", encoding="utf-8") as fh:
         writer = csv.writer(fh)
         writer.writerow(table.attributes)
+        for i in range(table.n_rows):
+            writer.writerow(table.row_tuple(i))
+
+
+def append_csv_rows(table: Table, path: str | Path) -> None:
+    """Append a :class:`Table`'s rows (no header) to an existing CSV.
+
+    The chunked *writer* counterpart of :func:`iter_csv_chunks`: large
+    synthetic datasets are produced shard-by-shard without ever holding
+    the full table (see ``benchmarks/bench_streaming.py``).  The
+    table's schema must match the file's header.
+    """
+    path = Path(path)
+    header = None
+    with path.open(newline="", encoding="utf-8") as fh:
+        try:
+            header = next(csv.reader(fh))
+        except StopIteration:
+            raise DataError(f"{path} is empty; write a header first") from None
+    if header != table.attributes:
+        raise DataError(
+            f"{path} header {header!r} does not match table schema "
+            f"{table.attributes!r}"
+        )
+    with path.open("a", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
         for i in range(table.n_rows):
             writer.writerow(table.row_tuple(i))

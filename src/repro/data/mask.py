@@ -55,6 +55,23 @@ class ErrorMask:
             mask.set(i, attr, True)
         return mask
 
+    @classmethod
+    def vstack(cls, masks: Sequence["ErrorMask"]) -> "ErrorMask":
+        """Concatenate shard masks row-wise into one global mask.
+
+        The assembly step of chunked scoring: shard ``k``'s local row
+        ``i`` lands at global row ``offset_k + i``, where ``offset_k``
+        is the total row count of the preceding shards.  All masks must
+        share one attribute schema.
+        """
+        if not masks:
+            raise SchemaError("vstack needs at least one mask")
+        attributes = masks[0].attributes
+        for m in masks[1:]:
+            if m.attributes != attributes:
+                raise SchemaError("masks must share schema to vstack")
+        return cls(attributes, np.vstack([m.matrix for m in masks]))
+
     # ------------------------------------------------------------------
     @property
     def n_rows(self) -> int:

@@ -27,7 +27,8 @@ results in input order.
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Iterable, Sequence
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
@@ -72,6 +73,47 @@ def parallel_map(
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(fn, items))
+
+
+def parallel_map_stream(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: int = 1,
+    window: int | None = None,
+) -> Iterator[R]:
+    """Lazy ``parallel_map`` over an *iterator*, bounded in-flight work.
+
+    The out-of-core primitive: ``items`` is consumed incrementally —
+    never more than ``window`` items (default ``2 * jobs``) are pulled
+    ahead of the slowest unconsumed result, so an arbitrarily long
+    stream of chunks runs in fixed memory.  Results are yielded
+    strictly in input order whatever the completion order, and a worker
+    exception propagates at the yield point for its item.  With an
+    effective job count of 1 this is the plain lazy generator — no
+    executor, no read-ahead — bit-for-bit the serial loop.
+    """
+    jobs = effective_jobs(n_jobs)
+    if jobs <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    if window is None:
+        window = 2 * jobs
+    window = max(window, jobs)
+    pending: deque = deque()
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        try:
+            for item in items:
+                pending.append(pool.submit(fn, item))
+                while len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            # A consumer abandoning the generator (or a worker error)
+            # must not leave queued chunks running.
+            for future in pending:
+                future.cancel()
 
 
 def parallel_attr_map(

@@ -36,6 +36,16 @@ Design points:
   featurizer consults on foreign tables, so a reloaded
   :class:`~repro.serving.scorer.BatchScorer` reproduces the in-memory
   scorer's masks bit for bit (pinned in ``tests/test_serving.py``).
+* **Forward-compatible provenance** — later PRs append *optional*
+  manifest keys that old artifacts simply lack; readers treat an
+  absent key as "recorded before that PR" and never fail on it.
+  Current optional keys: ``resilience`` (PR 6 — degraded attributes
+  and retry accounting from the fitting run; absent = pre-PR-6) and
+  ``sample`` (PR 7 — reservoir-sampling provenance when the fit ran
+  on a sampled subset: method, requested/sampled/source row counts,
+  seed and an index checksum; ``null`` = the fit saw every row,
+  absent = pre-PR-7).  New provenance must follow the same pattern:
+  optional key, documented null/absent semantics, no version bump.
 """
 
 from __future__ import annotations
@@ -205,6 +215,13 @@ class DetectorArtifact:
             "resilience": {
                 "degraded_attrs": fitted.details.get("degraded_attrs", {}),
             },
+            # Fit-time sample provenance (PR 7): how the training rows
+            # were chosen when the fit ran on a reservoir sample of a
+            # larger table (null = the fit saw every row; key absent =
+            # pre-PR-7 artifact, provenance unknown).  An operator
+            # judging a detector against a million-row source needs
+            # the sample budget/seed next to the artifact.
+            "sample": fitted.details.get("sample"),
         }
         return cls(manifest, arrays)
 
@@ -409,6 +426,9 @@ class DetectorArtifact:
             "created_at": manifest.get("created_at"),
             # Absent in pre-PR-6 artifacts: degradation state unknown.
             "resilience": manifest.get("resilience"),
+            # Absent in pre-PR-7 artifacts: sample provenance unknown;
+            # None thereafter means the fit saw every row.
+            "sample": manifest.get("sample"),
         }
         return RestoredState(
             config=config,

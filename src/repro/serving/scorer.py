@@ -143,6 +143,7 @@ class BatchScorer:
                         "degraded_attrs", {}
                     ),
                 },
+                "sample": fitted.details.get("sample"),
             },
             n_jobs=n_jobs,
         )
@@ -167,19 +168,55 @@ class BatchScorer:
             n_jobs=n_jobs,
         )
 
+    def with_jobs(self, n_jobs: int) -> "BatchScorer":
+        """A view of this scorer with a different worker count.
+
+        Shares the frozen featurizers and trained models (no copy);
+        only the execution knob differs.  The chunked scoring path uses
+        this to keep one pool level — the shard fan-out owns the
+        workers, each shard scores per-attribute-serially.
+        """
+        if n_jobs == self.config.n_jobs:
+            return self
+        return BatchScorer(
+            config=self.config,
+            detector=self.detector,
+            featurizers=self.featurizers,
+            correlated=self.correlated,
+            attributes=self.attributes,
+            llm_model=self.llm_model,
+            train_rows=self.train_rows,
+            info=self.info,
+            n_jobs=n_jobs,
+        )
+
     # ------------------------------------------------------------------
-    def score_table(self, table: Table) -> DetectionResult:
+    def score_table(
+        self, table: Table, *, row_offset: int = 0
+    ) -> DetectionResult:
         """Score every cell of ``table`` against the fitted detectors.
 
         ``table`` must carry the training schema (same attributes, same
         order); anything else raises :class:`ArtifactError` — a scorer
         has no way to featurize columns it was never fitted on.
+
+        ``row_offset`` says which global row the table's row 0 is when
+        the table is a shard of a larger stream.  The mask stays local
+        (row ``i`` of this table), but the offset is recorded in
+        ``details["row_offset"]`` and applied by
+        :meth:`~repro.core.result.DetectionResult.error_cells`, so
+        shard consumers get global row ids instead of silently
+        0-rebased ones.
         """
         if table.attributes != self.attributes:
             raise ArtifactError(
                 f"schema mismatch: the detector was fitted on "
                 f"{self.attributes!r}, the table carries "
                 f"{table.attributes!r}"
+            )
+        if row_offset < 0:
+            raise ArtifactError(
+                f"row_offset must be >= 0, got {row_offset}"
             )
         start = time.perf_counter()
         fs = FrozenFeatureSpace(
@@ -208,18 +245,58 @@ class BatchScorer:
                 "n_jobs": self.config.n_jobs,
                 "train_rows": self.train_rows,
                 "serving": True,
+                "row_offset": row_offset,
             },
         )
 
     def score_rows(
-        self, rows: Sequence[Mapping[str, str]], name: str = "rows"
+        self,
+        rows: Sequence[Mapping[str, str]],
+        name: str = "rows",
+        *,
+        row_offset: int = 0,
     ) -> DetectionResult:
         """Score ad-hoc row dicts (the service's request payloads).
 
         Missing attributes become empty cells (the pipeline's NULL
         convention); unknown keys raise :class:`ArtifactError`.
+        ``row_offset`` as in :meth:`score_table`.
         """
-        return self.score_table(self.rows_to_table(rows, name=name))
+        return self.score_table(
+            self.rows_to_table(rows, name=name), row_offset=row_offset
+        )
+
+    # ------------------------------------------------------------------
+    def score_chunks(self, chunks, *, chunk_rows=None, n_jobs=None):
+        """Stream-score an iterable of table chunks, bounded memory.
+
+        Delegates to :func:`repro.serving.streaming.score_chunks`; the
+        assembled mask is byte-identical to :meth:`score_table` on the
+        concatenated table for every ``(chunk_rows, n_jobs)``.
+        """
+        from repro.serving import streaming
+
+        return streaming.score_chunks(
+            self,
+            chunks,
+            chunk_rows=chunk_rows,
+            n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
+        )
+
+    def score_csv(self, path, *, chunk_rows=None, n_jobs=None):
+        """Stream-score a CSV file shard-by-shard (out-of-core).
+
+        Delegates to :func:`repro.serving.streaming.score_csv`; the
+        file is never materialized whole.
+        """
+        from repro.serving import streaming
+
+        return streaming.score_csv(
+            self,
+            path,
+            chunk_rows=chunk_rows,
+            n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
+        )
 
     def validate_rows(self, rows: Sequence[Mapping[str, str]]) -> None:
         """Reject rows carrying attributes outside the fitted schema.

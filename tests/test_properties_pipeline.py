@@ -1,13 +1,18 @@
-"""Property-based tests on injector and criteria-generation invariants."""
+"""Property-based tests on injector, criteria and streaming invariants."""
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.criteria import compile_criteria
+from repro.data.csvio import iter_csv_chunks, read_csv, write_csv
 from repro.data.injector import ErrorInjector, ErrorProfile
 from repro.data.table import Table
 from repro.llm.simulated import codegen
+from repro.serving.streaming import (
+    iter_table_chunks,
+    reservoir_sample_chunks,
+)
 
 value_pool = st.sampled_from(
     ["Boston", "Chicago", "Denver", "12.5", "code-7", "N42", "", "x"]
@@ -87,3 +92,68 @@ class TestCodegenProperties:
         for v in values:
             if v:
                 assert compiled.fullmatch(v) is not None
+
+
+# Cells that stress the CSV quoting rules: separators, quotes, embedded
+# newlines, NULL (empty string) and whitespace that must survive.
+csv_cell_pool = st.sampled_from(
+    ["", "plain", "x,y", 'he said "hi"', "line1\nline2",
+     " lead", "trail ", "NULL", ","]
+)
+
+
+class TestStreamingProperties:
+    @given(
+        st.integers(min_value=1, max_value=150),   # population
+        st.integers(min_value=1, max_value=30),    # sample budget
+        st.integers(min_value=0, max_value=6),     # seed
+        st.integers(min_value=1, max_value=40),    # chunking A
+        st.integers(min_value=1, max_value=40),    # chunking B
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reservoir_independent_of_chunking(self, n, k, seed, ca, cb):
+        """For a fixed seed the sample is a pure function of the row
+        stream — where the chunk boundaries fall cannot matter."""
+        table = Table.from_rows(
+            ["a", "b"], [[f"v{i % 7}", str(i)] for i in range(n)]
+        )
+        sa = reservoir_sample_chunks(iter_table_chunks(table, ca), k, seed)
+        sb = reservoir_sample_chunks(iter_table_chunks(table, cb), k, seed)
+        assert sa.indices == sb.indices
+        assert sa.table == sb.table
+        assert sa.total_rows == sb.total_rows == n
+        # The sample is a real subset, in original order, right size.
+        assert sa.indices == sorted(set(sa.indices))
+        assert len(sa.indices) == min(k, n)
+
+    @given(
+        st.lists(
+            st.tuples(csv_cell_pool, csv_cell_pool), max_size=30
+        ),
+        st.integers(min_value=1, max_value=11),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_iter_csv_chunks_roundtrips_read_csv(
+        self, tmp_path_factory, rows, chunk_rows
+    ):
+        """Chunks concatenate to exactly ``read_csv`` — including NULL
+        cells, separators/quotes/newlines inside cells, and preserved
+        whitespace."""
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        table = Table.from_rows(
+            ["a", "b"], [list(r) for r in rows], name="t"
+        )
+        write_csv(table, path)
+        whole = read_csv(path)
+        chunks = list(iter_csv_chunks(path, chunk_rows))
+        rebuilt = Table.from_rows(
+            whole.attributes,
+            [c.row_tuple(i) for c in chunks for i in range(c.n_rows)],
+            name="t",
+        )
+        assert rebuilt == whole == table
+        assert all(c.n_rows <= chunk_rows for c in chunks)
+        if rows:
+            assert sum(c.n_rows for c in chunks) == len(rows)
+        else:
+            assert chunks == []
