@@ -14,15 +14,21 @@ Measures, per dataset slice:
 * service round-trip: single-row latency (median of 15) and a
   256-row batch POST against a live ``ScoringService`` on an
   ephemeral port, with the response checked against the batch
-  scorer's flags.
+  scorer's flags;
+* load shedding under pressure (PR 8): concurrent clients hammer a
+  service whose admission queue is sized *below* the offered load;
+  records p50/p99 request latency, the shed rate, and the /healthz
+  shed counter.
 
 Writes ``BENCH_serving.json``.  ``--smoke`` runs a small Hospital
 slice and **fails** (exit 1) when the warm scoring path regresses
 more than 2x against its recorded baseline (hardware-normalised by
 the shared GEMM calibration), when the loaded artifact's masks
 diverge from the in-memory scorer's, when scoring touches the LLM,
-or when the service response disagrees with the batch scorer — the
-CI gate for the serving layer.
+when the service response disagrees with the batch scorer, or when
+the saturated service returns anything but well-formed 200/503
+responses with exact shed accounting — the CI gate for the serving
+layer.
 
 Usage::
 
@@ -35,7 +41,9 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 from tempfile import TemporaryDirectory
@@ -162,6 +170,11 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
     finally:
         service.stop()
 
+    # --- load shedding under saturation (PR 8) -------------------------
+    load, load_failures = bench_load(scorer, table, smoke=smoke)
+    out["service_load"] = load
+    failures.extend(load_failures)
+
     # --- hardware-normalised smoke gate --------------------------------
     if smoke:
         calib = calibrate_gemm_s()
@@ -178,6 +191,114 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
     return out, failures
 
 
+def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
+    """Saturate a deliberately under-provisioned service.
+
+    ``max_queue_rows`` is sized well below the offered concurrent
+    load, so a healthy run *must* shed: the interesting numbers are
+    the latency quantiles of the accepted requests and the fraction
+    shed, and the gate is the response contract — every answer is a
+    well-formed 200 or 503, and /healthz accounts for every shed.
+    """
+    failures: list[str] = []
+    n_clients = 16 if smoke else 32
+    requests_per_client = 8 if smoke else 16
+    rows_per_request = 4
+    service = ScoringService(
+        scorer,
+        port=0,
+        max_queue_rows=rows_per_request * max(2, n_clients // 4),
+        linger_s=0.005,
+    ).start()
+    rows = [table.row(i % table.n_rows) for i in range(rows_per_request)]
+    body = json.dumps({"rows": rows}).encode()
+    lock = threading.Lock()
+    latencies_ok: list[float] = []
+    statuses: list[int] = []
+    malformed: list[str] = []
+
+    def client() -> None:
+        for _ in range(requests_per_client):
+            request = urllib.request.Request(
+                service.url + "/score",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            t0 = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=120) as resp:
+                    status, payload = resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                status, payload = exc.code, json.loads(exc.read())
+            except OSError as exc:
+                # A dropped/reset connection is a contract violation:
+                # overload must surface as a clean 503, never a hangup.
+                with lock:
+                    statuses.append(0)
+                    malformed.append(f"connection error: {exc!r}")
+                continue
+            elapsed = time.perf_counter() - t0
+            with lock:
+                statuses.append(status)
+                if status == 200:
+                    latencies_ok.append(elapsed)
+                    if len(payload.get("flags") or []) != rows_per_request:
+                        malformed.append(f"bad 200 body: {payload}")
+                elif status == 503:
+                    if payload.get("code") != "overloaded":
+                        malformed.append(f"bad 503 body: {payload}")
+                else:
+                    malformed.append(f"unexpected status {status}")
+
+    try:
+        threads = [
+            threading.Thread(target=client) for _ in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_s = time.perf_counter() - t0
+        health = _get(service.url + "/healthz")
+    finally:
+        service.stop()
+
+    total = len(statuses)
+    shed = statuses.count(503)
+    quantiles = (
+        statistics.quantiles(latencies_ok, n=100)
+        if len(latencies_ok) >= 2
+        else [0.0] * 99
+    )
+    out = {
+        "clients": n_clients,
+        "requests": total,
+        "rows_per_request": rows_per_request,
+        "wall_s": round(wall_s, 4),
+        "ok": statuses.count(200),
+        "shed": shed,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "p50_latency_s": round(statistics.median(latencies_ok), 5)
+        if latencies_ok
+        else None,
+        "p99_latency_s": round(quantiles[98], 5) if latencies_ok else None,
+        "healthz_shed": health["shed"],
+    }
+    if malformed:
+        failures.append(
+            f"saturated service broke the response contract: "
+            f"{malformed[:3]}"
+        )
+    if health["shed"] != shed:
+        failures.append(
+            f"healthz shed counter {health['shed']} != observed 503s {shed}"
+        )
+    if not latencies_ok:
+        failures.append("saturated service answered no request with 200")
+    return out, failures
+
+
 def _post(url: str, payload: dict) -> dict:
     request = urllib.request.Request(
         url,
@@ -185,6 +306,11 @@ def _post(url: str, payload: dict) -> dict:
         headers={"Content-Type": "application/json"},
     )
     with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=120) as resp:
         return json.loads(resp.read())
 
 
@@ -212,7 +338,10 @@ def main() -> int:
             "score_table on fresh table copies (best of 3, zero LLM "
             "calls), loaded-vs-in-memory mask equality, and a live "
             "ScoringService round-trip (single-row median + 256-row "
-            "batch, response checked against the batch scorer)"
+            "batch, response checked against the batch scorer), plus a "
+            "saturation run against an under-provisioned admission "
+            "queue (p50/p99 accepted-request latency, shed rate, "
+            "healthz shed accounting)"
         ),
         "cases": {},
     }
@@ -227,7 +356,11 @@ def main() -> int:
             f"warm score {entry['score_s']}s "
             f"({entry['rows_per_s']} rows/s, "
             f"{entry['speedup_vs_detect']}x vs detect), "
-            f"service single-row {entry['service_single_row_median_s']}s"
+            f"service single-row {entry['service_single_row_median_s']}s, "
+            f"saturated p50/p99 "
+            f"{entry['service_load']['p50_latency_s']}s/"
+            f"{entry['service_load']['p99_latency_s']}s "
+            f"shed {entry['service_load']['shed_rate'] * 100:.0f}%"
         )
         if "score_units_vs_baseline" in entry:
             line += (

@@ -117,6 +117,38 @@ def main() -> None:
     #    See BENCH_streaming.json for recorded rows/s and peak-memory
     #    figures at 100k / 1M rows.
 
+    # 8. Resilient serving (resumable jobs + a hardened service).  A
+    #    multi-hour streaming job should survive a crash: pass a
+    #    journal directory and every scored shard is checksummed to
+    #    disk (journal.jsonl + masks.bin) the moment it completes.
+    #    After a kill, --resume verifies the journaled prefix and
+    #    continues from the first unscored shard — the final mask is
+    #    byte-identical to an uninterrupted run, with zero re-scoring:
+    #
+    #        repro score-csv big.csv --artifact art/ \
+    #              --chunk-rows 50000 --journal-dir job/
+    #        # ...crash, power loss, OOM kill...
+    #        repro score-csv big.csv --artifact art/ \
+    #              --chunk-rows 50000 --journal-dir job/ --resume
+    #
+    #    The journal is fingerprinted (artifact checksum, source file,
+    #    chunking, bad-row policy); resuming against anything that
+    #    changed starts over instead of splicing incompatible shards.
+    #    Malformed CSV rows abort the run by default; with
+    #    --bad-rows quarantine they land in a JSONL sidecar
+    #    (big.csv.quarantine.jsonl) with their line numbers and raw
+    #    cells, and the remaining rows score normally.
+    #
+    #    The HTTP service (repro serve) is hardened for production:
+    #    bounded admission queue that sheds overload with 503 +
+    #    Retry-After (--max-queue-rows), per-request deadlines that
+    #    504 instead of piling up (--deadline, or "deadline_s" in the
+    #    payload), GET /readyz for load balancers (503 while
+    #    draining) vs GET /healthz for liveness + shed/expired/reload
+    #    counters, POST /reload to hot-swap a re-fitted artifact with
+    #    no dropped requests, and SIGTERM triggering a graceful
+    #    drain-then-stop (--drain-timeout).
+
 
 if __name__ == "__main__":
     main()

@@ -22,6 +22,7 @@ Run ``python -m repro <command> -h`` for per-command options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench import METHODS, format_table, run_method
@@ -34,6 +35,7 @@ from repro.core.pipeline import ZeroED
 from repro.core.repair import RepairSuggester
 from repro.data.csvio import read_csv
 from repro.data.maskio import write_dataset, write_mask
+from repro.errors import ReproError, error_code
 from repro.data.registry import COMPARISON_DATASETS, dataset_names, get_dataset
 
 
@@ -204,6 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the streaming scoring manifest (per-"
                         "shard row offsets + SHA-256 mask checksums) "
                         "as JSON; implies chunked scoring")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="journal every completed shard under DIR "
+                        "(mask bytes + checksums under the job's "
+                        "fingerprint) so a killed run can be resumed; "
+                        "implies chunked scoring")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the journal's verified shards instead "
+                        "of re-scoring them and continue from the "
+                        "first incomplete shard (requires "
+                        "--journal-dir; the final mask is byte-"
+                        "identical to an uninterrupted run)")
+    p.add_argument("--bad-rows", default=None,
+                   choices=("fail", "quarantine"),
+                   help="malformed-row policy: 'fail' stops on the "
+                        "first row wider than the header (default); "
+                        "'quarantine' records offenders in a JSONL "
+                        "sidecar and scores the rest")
+    p.add_argument("--quarantine-out", default=None, metavar="PATH",
+                   help="sidecar path for quarantined rows (default: "
+                        "<csv>.quarantine.jsonl)")
     p.add_argument("--mask-out", default=None)
 
     p = sub.add_parser(
@@ -223,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="BYTES",
                    help="request-body cap; larger /score payloads get "
                         "HTTP 413 (default: 8 MiB)")
+    p.add_argument("--max-queue-rows", type=int, default=None,
+                   metavar="N",
+                   help="admission cap: rows allowed to wait for a "
+                        "micro-batch before new requests are shed "
+                        "with HTTP 503 + Retry-After (default: 16384)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-request deadline; a request still "
+                        "unscored when it expires gets HTTP 504 "
+                        "(default: none beyond the 120s request "
+                        "timeout)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="on SIGTERM: stop admitting (503), wait up to "
+                        "this long for queued work to finish, then "
+                        "exit (default: 30)")
     _add_engine_flags(p, engines=False)
 
     p = sub.add_parser("compare", help="method x dataset comparison grid")
@@ -342,14 +380,28 @@ def cmd_fit(args) -> int:
 
 
 def cmd_score_csv(args) -> int:
+    from repro.errors import DataError
     from repro.serving.scorer import BatchScorer
 
+    if args.resume and args.journal_dir is None:
+        raise DataError("--resume requires --journal-dir")
     scorer = BatchScorer.from_artifact(args.artifact, n_jobs=args.jobs)
-    if args.chunk_rows is not None or args.manifest_out is not None:
+    chunked = (
+        args.chunk_rows is not None
+        or args.manifest_out is not None
+        or args.journal_dir is not None
+    )
+    if chunked:
         # Out-of-core path: stream the file shard-by-shard; the mask
         # is byte-identical to the in-memory path below.
         result = scorer.score_csv(
-            args.csv, chunk_rows=args.chunk_rows, n_jobs=args.jobs
+            args.csv,
+            chunk_rows=args.chunk_rows,
+            n_jobs=args.jobs,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            bad_rows=args.bad_rows,
+            quarantine_path=args.quarantine_out,
         )
         mask = result.mask
         print(f"flagged {mask.error_count()} cells "
@@ -357,6 +409,17 @@ def cmd_score_csv(args) -> int:
               f"in {result.seconds:.2f}s "
               f"({len(result.shards)} shards x <={result.chunk_rows} rows, "
               f"{result.rows_per_s:.0f} rows/s), zero LLM calls")
+        resumed = result.details.get("resumed_shards")
+        if resumed:
+            print(f"resumed from the journal: {resumed} shard(s) "
+                  f"replayed without re-scoring")
+        elif args.resume and result.details.get("journal_invalidated"):
+            print("journal invalidated (artifact, source or shard size "
+                  "changed); re-scored from shard 0", file=sys.stderr)
+        quarantined = result.details.get("quarantined_rows")
+        if quarantined:
+            print(f"quarantined {quarantined} malformed row(s) to "
+                  f"{result.details['quarantine_path']}", file=sys.stderr)
         if args.manifest_out:
             result.write_manifest(args.manifest_out)
             print(f"manifest written to {args.manifest_out}")
@@ -376,6 +439,9 @@ def cmd_score_csv(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.serving.service import ScoringService
 
     hardening = {}
@@ -383,6 +449,10 @@ def cmd_serve(args) -> int:
         hardening["read_timeout_s"] = args.read_timeout
     if args.max_body_bytes is not None:
         hardening["max_body_bytes"] = args.max_body_bytes
+    if args.max_queue_rows is not None:
+        hardening["max_queue_rows"] = args.max_queue_rows
+    if args.deadline is not None:
+        hardening["deadline_s"] = args.deadline
     service = ScoringService.from_artifact(
         args.artifact, n_jobs=args.jobs, host=args.host, port=args.port,
         **hardening,
@@ -394,7 +464,19 @@ def cmd_serve(args) -> int:
     if degraded:
         print(f"note: {len(degraded)} attribute(s) were fitted degraded "
               f"(see GET /healthz): {', '.join(sorted(degraded))}")
-    print("endpoints: POST /score  GET /healthz  GET /artifact")
+    print("endpoints: POST /score  POST /reload  GET /healthz  "
+          "GET /readyz  GET /artifact")
+
+    def _on_sigterm(signum, frame) -> None:
+        # drain() ends with stop(), whose server.shutdown() must not
+        # run on the thread inside serve_forever — hand it off.
+        print("\nSIGTERM: draining (new requests get 503)",
+              file=sys.stderr)
+        threading.Thread(
+            target=service.drain, args=(args.drain_timeout,), daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -456,7 +538,18 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Library failures exit with a stable machine-readable JSON
+        # line on stderr — the CLI twin of the service's error bodies
+        # — never a raw traceback (a corrupt artifact or malformed CSV
+        # is an operator problem, not a bug being reported).
+        print(
+            json.dumps({"error": str(exc), "code": error_code(exc)}),
+            file=sys.stderr,
+        )
+        return 3
 
 
 if __name__ == "__main__":

@@ -192,6 +192,14 @@ class ZeroEDConfig:
     (``streaming.DEFAULT_CHUNK_ROWS``); the chunked mask is
     byte-identical to the in-memory one for every value."""
 
+    bad_rows: str = "fail"
+    """Malformed-CSV-row policy for streamed scoring: ``"fail"``
+    (default) raises on the first row longer than the header —
+    the historical behaviour; ``"quarantine"`` records offenders in a
+    JSONL sidecar and drops them from the stream, so one corrupt row
+    deep in a large file becomes a repairable journal entry instead of
+    a dead job (see :mod:`repro.data.csvio`)."""
+
     # --- execution ---
     n_jobs: int = 1
     """Worker threads for the per-attribute stages (Step-2 sampling,
@@ -262,6 +270,11 @@ class ZeroEDConfig:
                 raise ConfigError(
                     f"{name} must be >= 1 or None, got {value}"
                 )
+        if self.bad_rows not in ("fail", "quarantine"):
+            raise ConfigError(
+                f"bad_rows must be 'fail' or 'quarantine', "
+                f"got {self.bad_rows!r}"
+            )
 
     def resolve_sampling_engine(self, n_rows: int) -> str:
         """Concrete Step-2 engine for a table of ``n_rows`` rows."""

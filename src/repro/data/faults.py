@@ -1,0 +1,226 @@
+"""Deterministic IO fault injection (chaos layer, serving side).
+
+The PR 6 chaos layer (:mod:`repro.llm.faults`) made the *fit* phase's
+backend deterministically flaky; this module does the same for the
+*serve* phase's disk IO.  :class:`FaultyIO` is a seeded ``open``
+replacement whose file handles misbehave on a reproducible schedule:
+
+* **torn writes** — a ``write`` persists only a prefix of its payload,
+  then raises ``OSError(ENOSPC)`` (the classic power-cut / full-disk
+  shape journals must survive);
+* **ENOSPC** — a ``write`` fails outright without persisting anything;
+* **partial reads** — a ``read`` returns fewer bytes than requested
+  (short read, not an error — callers must loop or tolerate);
+* **permission errors** — an ``open`` raises :class:`PermissionError`.
+
+Anything that takes an ``opener`` injection point — notably
+:class:`repro.serving.jobs.ScoreJournal` — can be run against a
+``FaultyIO`` to prove it recovers from interrupted writes: the chaos
+suite (``pytest -m chaos``, ``tests/test_chaos_serving.py``) pins that
+a journal torn at *any* record still resumes to the exact
+uninterrupted mask.
+
+Determinism mirrors :class:`~repro.llm.faults.FaultPlan`: one
+``random.Random(seed)`` stream drawn in call order, exact counts in
+:class:`IOFaultStats`.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import random
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IOFaultPlan:
+    """Seeded IO fault mix.  Rates are independent probabilities summed
+    in order (torn write, ENOSPC, partial read, permission); write
+    faults are drawn per ``write`` call, read faults per ``read`` call,
+    permission faults per ``open``.  Each group's rates must sum to
+    <= 1.0; the remainder passes through clean."""
+
+    torn_write_rate: float = 0.0
+    enospc_rate: float = 0.0
+    partial_read_rate: float = 0.0
+    permission_rate: float = 0.0
+    seed: int = 0
+
+    max_faults: int | None = None
+    """Stop injecting after this many faults (None = unbounded) — the
+    liveness valve for 100%-rate scenarios, as in FaultPlan."""
+
+    def __post_init__(self) -> None:
+        write_total = self.torn_write_rate + self.enospc_rate
+        for name, total in (
+            ("write fault rates", write_total),
+            ("partial_read_rate", self.partial_read_rate),
+            ("permission_rate", self.permission_rate),
+        ):
+            if not 0.0 <= total <= 1.0:
+                raise ValueError(f"{name} sum to {total}, outside [0, 1]")
+
+
+@dataclass
+class IOFaultStats:
+    """Counts of injected IO faults, by kind."""
+
+    n_opens: int = 0
+    n_writes: int = 0
+    n_reads: int = 0
+    n_torn_writes: int = 0
+    n_enospc: int = 0
+    n_partial_reads: int = 0
+    n_permission_errors: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def n_injected(self) -> int:
+        return (
+            self.n_torn_writes
+            + self.n_enospc
+            + self.n_partial_reads
+            + self.n_permission_errors
+        )
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "opens": self.n_opens,
+                "writes": self.n_writes,
+                "reads": self.n_reads,
+                "torn_writes": self.n_torn_writes,
+                "enospc": self.n_enospc,
+                "partial_reads": self.n_partial_reads,
+                "permission_errors": self.n_permission_errors,
+            }
+
+
+class FaultyIO:
+    """A seeded ``open`` replacement injecting disk-level faults.
+
+    Use it wherever an ``opener`` is accepted::
+
+        chaos = FaultyIO(IOFaultPlan(torn_write_rate=0.2, seed=7))
+        journal = ScoreJournal.begin(path, fingerprint, opener=chaos.open)
+
+    The injected exceptions are real :class:`OSError` instances with
+    the matching ``errno`` (``ENOSPC`` for full-disk shapes), so code
+    under test exercises its production error handling, not a
+    test-only exception type.
+    """
+
+    def __init__(self, plan: IOFaultPlan) -> None:
+        self.plan = plan
+        self.stats = IOFaultStats()
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _draw(self, first_rate: float, second_rate: float = 0.0) -> int:
+        """0 = clean, 1 = first fault kind, 2 = second fault kind."""
+        with self._lock:
+            if (
+                self.plan.max_faults is not None
+                and self.stats.n_injected >= self.plan.max_faults
+            ):
+                return 0
+            u = self._rng.random()
+            if u < first_rate:
+                return 1
+            if u < first_rate + second_rate:
+                return 2
+            return 0
+
+    # ------------------------------------------------------------------
+    def open(self, path, mode="r", **kwargs):
+        """Drop-in for :func:`open`, returning a fault-wrapped handle."""
+        with self.stats._lock:
+            self.stats.n_opens += 1
+        if self._draw(self.plan.permission_rate) == 1:
+            with self.stats._lock:
+                self.stats.n_permission_errors += 1
+            raise PermissionError(
+                errno.EACCES, "injected permission error", str(path)
+            )
+        return _FaultyFile(builtins.open(path, mode, **kwargs), self)
+
+    # Called by _FaultyFile -------------------------------------------
+    def _write_fault(self) -> str | None:
+        with self.stats._lock:
+            self.stats.n_writes += 1
+        drawn = self._draw(self.plan.torn_write_rate, self.plan.enospc_rate)
+        if drawn == 1:
+            with self.stats._lock:
+                self.stats.n_torn_writes += 1
+            return "torn"
+        if drawn == 2:
+            with self.stats._lock:
+                self.stats.n_enospc += 1
+            return "enospc"
+        return None
+
+    def _read_fault(self) -> bool:
+        with self.stats._lock:
+            self.stats.n_reads += 1
+        if self._draw(self.plan.partial_read_rate) == 1:
+            with self.stats._lock:
+                self.stats.n_partial_reads += 1
+            return True
+        return False
+
+
+class _FaultyFile:
+    """Proxy around a real file handle that injects planned faults.
+
+    Only ``read``/``write`` misbehave; everything else (seek, tell,
+    flush, close, iteration, context management) passes straight
+    through, so the handle stays usable after a fault exactly like a
+    real descriptor after a failed syscall.
+    """
+
+    def __init__(self, inner, io: FaultyIO) -> None:
+        self._inner = inner
+        self._io = io
+
+    def write(self, data):
+        fault = self._io._write_fault()
+        if fault == "torn":
+            # Persist a strict prefix, then fail — the caller's bytes
+            # are *partially* on disk, the torn-write recovery case.
+            torn = data[: max(1, len(data) // 2)] if len(data) else data
+            self._inner.write(torn)
+            self._inner.flush()
+            raise OSError(
+                errno.ENOSPC, "injected torn write (no space left)"
+            )
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected ENOSPC (nothing written)")
+        return self._inner.write(data)
+
+    def read(self, size=-1):
+        data = self._inner.read(size)
+        if len(data) > 1 and self._io._read_fault():
+            # Short read: hand back a prefix and rewind the rest, as a
+            # signal-interrupted read() would.
+            kept = data[: len(data) // 2]
+            self._inner.seek(self._inner.tell() - (len(data) - len(kept)))
+            return kept
+        return data
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._inner.close()
+        return False
+
+    def __iter__(self):
+        return iter(self._inner)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

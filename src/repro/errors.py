@@ -58,3 +58,29 @@ class NotFittedError(ReproError):
 
 class ArtifactError(ReproError):
     """A detector artifact is corrupted, tampered, or incompatible."""
+
+
+#: Stable machine-readable codes per error class — the shared
+#: vocabulary of the CLI's stderr JSON and the scoring service's error
+#: bodies.  Subclasses inherit their nearest mapped ancestor's code
+#: (LLMTimeoutError -> "llm_error"), so new exception types never
+#: silently mint new wire codes.
+ERROR_CODES: dict[type, str] = {
+    ArtifactError: "artifact_error",
+    SchemaError: "schema_error",
+    DataError: "data_error",
+    ConfigError: "config_error",
+    LLMError: "llm_error",
+    CriteriaError: "criteria_error",
+    NotFittedError: "not_fitted",
+    ReproError: "error",
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for an exception (``"internal"`` outside
+    the :class:`ReproError` hierarchy)."""
+    for klass in type(exc).__mro__:
+        if klass in ERROR_CODES:
+            return ERROR_CODES[klass]
+    return "internal"

@@ -101,19 +101,22 @@ def parallel_map_stream(
         window = 2 * jobs
     window = max(window, jobs)
     pending: deque = deque()
-    with ThreadPoolExecutor(max_workers=jobs) as pool:
-        try:
-            for item in items:
-                pending.append(pool.submit(fn, item))
-                while len(pending) >= window:
-                    yield pending.popleft().result()
-            while pending:
+    pool = ThreadPoolExecutor(max_workers=jobs)
+    try:
+        for item in items:
+            pending.append(pool.submit(fn, item))
+            while len(pending) >= window:
                 yield pending.popleft().result()
-        finally:
-            # A consumer abandoning the generator (or a worker error)
-            # must not leave queued chunks running.
-            for future in pending:
-                future.cancel()
+        while pending:
+            yield pending.popleft().result()
+    finally:
+        # A consumer abandoning the generator, a worker error, or a
+        # KeyboardInterrupt mid-wait must not leave queued chunks
+        # running: cancel everything not yet started so teardown joins
+        # at most the <= jobs shards already executing — the bounded
+        # window is also the bound on shutdown latency.  (A plain
+        # ``with`` block would wait for every queued future instead.)
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def parallel_attr_map(

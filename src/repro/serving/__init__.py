@@ -8,7 +8,13 @@ The train-once / score-many layer over the ZeroED pipeline (PR 5):
   unseen tables/rows against frozen training statistics with zero LLM
   calls;
 * :mod:`repro.serving.service` — :class:`ScoringService`, a stdlib
-  ``ThreadingHTTPServer`` JSON API with micro-batched request handling.
+  ``ThreadingHTTPServer`` JSON API with micro-batched request handling,
+  bounded-admission load shedding, per-request deadlines, graceful
+  drain and hot artifact reload (PR 8);
+* :mod:`repro.serving.streaming` — out-of-core sharded scoring and
+  sampled fitting (PR 7);
+* :mod:`repro.serving.jobs` — :class:`ScoreJournal`, the crash-safe
+  per-shard journal that makes streaming score jobs resumable (PR 8).
 """
 
 from repro.serving.artifact import (
@@ -16,14 +22,24 @@ from repro.serving.artifact import (
     ARTIFACT_VERSION,
     DetectorArtifact,
 )
+from repro.serving.jobs import JournalShard, ScoreJournal, job_fingerprint
 from repro.serving.scorer import BatchScorer, FrozenFeatureSpace
-from repro.serving.service import ScoringService
+from repro.serving.service import (
+    DeadlineExceeded,
+    ScoringService,
+    ServiceOverloaded,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "BatchScorer",
+    "DeadlineExceeded",
     "DetectorArtifact",
     "FrozenFeatureSpace",
+    "JournalShard",
+    "ScoreJournal",
     "ScoringService",
+    "ServiceOverloaded",
+    "job_fingerprint",
 ]

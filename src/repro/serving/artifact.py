@@ -429,6 +429,9 @@ class DetectorArtifact:
             # Absent in pre-PR-7 artifacts: sample provenance unknown;
             # None thereafter means the fit saw every row.
             "sample": manifest.get("sample"),
+            # The saved arrays' checksum doubles as the artifact's
+            # identity for resumable-job fingerprints (PR 8).
+            "arrays_sha256": manifest.get("arrays_sha256"),
         }
         return RestoredState(
             config=config,

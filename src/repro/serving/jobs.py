@@ -1,0 +1,381 @@
+"""Resumable streaming score jobs (serving subsystem, PR 8).
+
+A ``score_csv`` run over a million-row file is hours of work whose
+shards are individually cheap to verify: scoring is deterministic, and
+PR 7's manifest already records one SHA-256 per shard mask.  This
+module turns that shape into a crash-safe journal so a job killed at
+shard 900/1000 resumes at shard 900 instead of row 0 — the serve-side
+twin of :class:`repro.llm.checkpoint.CheckpointedLLM`.
+
+Journal layout (one directory)::
+
+    journal/
+      journal.jsonl   line 1: header {format, version, fingerprint}
+                      then one JSON record per completed shard:
+                      {index, row_offset, n_rows, error_cells,
+                       mask_sha256, data_offset, data_len}
+      masks.bin       the shards' raw mask bytes, concatenated at the
+                      recorded offsets
+
+Crash-safety contract:
+
+* **append order** — a shard's mask bytes are written (and fsynced) to
+  ``masks.bin`` *before* its journal record; a record therefore only
+  ever describes bytes that are fully on disk.
+* **prefix recovery** — on resume the journal is trusted only up to
+  the longest prefix of records that parse, chain their row offsets
+  contiguously, and whose mask bytes match their checksum.  A torn
+  tail (half-written record, garbage mask bytes, records beyond a
+  truncated data file) is discarded by truncating both files — proven
+  under seeded torn-write injection in ``tests/test_chaos_serving.py``.
+* **fingerprint guard** — the header pins what the journal is a
+  journal *of*: artifact checksum, schema fingerprint, source path +
+  byte size, ``chunk_rows``, worker count and the bad-row policy.  Any
+  mismatch (new artifact, re-chunked run, edited file) invalidates the
+  journal and the job starts from shard 0 rather than resuming into a
+  stream it no longer describes.
+
+The injectable ``opener`` exists for the chaos layer
+(:class:`repro.data.faults.FaultyIO`); production callers never pass
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.mask import ErrorMask
+from repro.errors import DataError
+
+JOURNAL_FORMAT = "zeroed-score-journal"
+JOURNAL_VERSION = 1
+JOURNAL_NAME = "journal.jsonl"
+MASKS_NAME = "masks.bin"
+
+
+def job_fingerprint(
+    scorer,
+    source: str | Path,
+    *,
+    chunk_rows: int | None,
+    n_jobs: int,
+    bad_rows: str = "fail",
+) -> dict:
+    """Identity of one streaming score job, for the journal header.
+
+    Two runs may share a journal iff every field matches: the artifact
+    (by ``arrays.npz`` checksum when the scorer was loaded from disk,
+    schema fingerprint + training provenance always), the source file
+    (path and byte size), the shard size, the worker count and the
+    bad-row policy.  Anything else and the recorded shards describe a
+    different row stream or different frozen statistics — resuming
+    over them would splice two jobs into one mask.
+    """
+    from repro.serving.artifact import schema_fingerprint
+
+    path = Path(source)
+    try:
+        source_bytes = path.stat().st_size
+    except OSError:
+        source_bytes = None
+    return {
+        "artifact_sha256": scorer.info.get("arrays_sha256"),
+        "schema_fingerprint": schema_fingerprint(scorer.attributes),
+        "llm_model": scorer.llm_model,
+        "train_rows": scorer.train_rows,
+        "source": str(path),
+        "source_bytes": source_bytes,
+        "chunk_rows": chunk_rows,
+        "jobs": n_jobs,
+        "bad_rows": bad_rows,
+    }
+
+
+@dataclass(frozen=True)
+class JournalShard:
+    """One verified (or just-recorded) shard entry."""
+
+    index: int
+    row_offset: int
+    n_rows: int
+    error_cells: int
+    mask_sha256: str
+    data_offset: int
+    data_len: int
+
+
+class ScoreJournal:
+    """Incremental per-shard journal for one streaming score job.
+
+    Use :meth:`begin` (not the constructor) — it performs the
+    fingerprint check and prefix recovery, then leaves the journal
+    open for appending::
+
+        journal = ScoreJournal.begin(directory, fingerprint, resume=True)
+        for shard in journal.verified:      # replay, zero re-scoring
+            ...
+        journal.append(...)                 # continue from the cut
+        journal.close()
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: dict,
+        *,
+        opener=None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.verified: list[JournalShard] = []
+        self.invalidated = False
+        self._opener = opener or open
+        self._journal_fh = None
+        self._masks_fh = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def begin(
+        cls,
+        directory: str | Path,
+        fingerprint: dict,
+        *,
+        resume: bool = False,
+        opener=None,
+    ) -> "ScoreJournal":
+        """Open (and, with ``resume=True``, recover) a journal.
+
+        Without ``resume`` any existing journal is discarded.  With it,
+        a journal whose header fingerprint matches is trusted up to its
+        longest valid prefix (``.verified``); a mismatched fingerprint
+        sets ``.invalidated`` and starts fresh.
+        """
+        journal = cls(directory, fingerprint, opener=opener)
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        if resume:
+            journal._recover()
+        else:
+            journal._reset()
+        journal._open_for_append()
+        return journal
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    @property
+    def masks_path(self) -> Path:
+        return self.directory / MASKS_NAME
+
+    @property
+    def data_end(self) -> int:
+        """First free byte offset in ``masks.bin``."""
+        if not self.verified:
+            return 0
+        last = self.verified[-1]
+        return last.data_offset + last.data_len
+
+    # ------------------------------------------------------------------
+    def shard_mask(self, shard: JournalShard, attributes: list[str]) -> ErrorMask:
+        """Reconstruct one verified shard's mask from the data file."""
+        with self._opener(self.masks_path, "rb") as fh:
+            fh.seek(shard.data_offset)
+            data = _read_exact(fh, shard.data_len)
+        if hashlib.sha256(data).hexdigest() != shard.mask_sha256:
+            raise DataError(
+                f"journal shard {shard.index} failed its checksum on "
+                f"re-read; the journal under {self.directory} is corrupt"
+            )
+        matrix = np.frombuffer(data, dtype=bool).reshape(
+            shard.n_rows, len(attributes)
+        )
+        return ErrorMask(attributes, matrix.copy())
+
+    def append(
+        self,
+        *,
+        index: int,
+        row_offset: int,
+        mask: ErrorMask,
+        mask_sha256: str,
+    ) -> JournalShard:
+        """Record one completed shard: mask bytes first, record second.
+
+        Both writes are flushed and fsynced before returning, so a
+        recorded shard survives any later crash; an OSError mid-append
+        leaves at worst a torn tail the next resume truncates away.
+        """
+        if self._journal_fh is None:
+            raise DataError("journal is closed")
+        data = mask.matrix.tobytes()
+        shard = JournalShard(
+            index=index,
+            row_offset=row_offset,
+            n_rows=mask.n_rows,
+            error_cells=mask.error_count(),
+            mask_sha256=mask_sha256,
+            data_offset=self.data_end,
+            data_len=len(data),
+        )
+        self._masks_fh.write(data)
+        self._masks_fh.flush()
+        os.fsync(self._masks_fh.fileno())
+        self._journal_fh.write(json.dumps(asdict(shard)) + "\n")
+        self._journal_fh.flush()
+        os.fsync(self._journal_fh.fileno())
+        self.verified.append(shard)
+        return shard
+
+    def close(self) -> None:
+        for fh in (self._journal_fh, self._masks_fh):
+            if fh is not None:
+                try:
+                    fh.close()
+                except OSError:  # already torn; nothing left to save
+                    pass
+        self._journal_fh = None
+        self._masks_fh = None
+
+    def __enter__(self) -> "ScoreJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        """Start a fresh journal: header only, no shards."""
+        self.verified = []
+        with self._opener(self.journal_path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self._header()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        with self._opener(self.masks_path, "wb") as fh:
+            fh.flush()
+
+    def _header(self) -> dict:
+        return {
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_VERSION,
+            "fingerprint": self.fingerprint,
+        }
+
+    def _recover(self) -> None:
+        """Trust the longest valid prefix of an existing journal."""
+        if not self.journal_path.is_file() or not self.masks_path.is_file():
+            self._reset()
+            return
+        try:
+            with self._opener(
+                self.journal_path, "r", encoding="utf-8"
+            ) as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            self._reset()
+            return
+        if not lines:
+            self._reset()
+            return
+        header = _parse_json_line(lines[0])
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != JOURNAL_FORMAT
+            or header.get("version") != JOURNAL_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            # A different job's journal (or an unreadable header): the
+            # recorded shards describe some other stream — invalidate.
+            self.invalidated = self.journal_path.is_file()
+            self._reset()
+            return
+        try:
+            data_size = self.masks_path.stat().st_size
+        except OSError:
+            data_size = 0
+        verified: list[JournalShard] = []
+        expected_offset = 0
+        data_end = 0
+        with self._opener(self.masks_path, "rb") as data_fh:
+            for line in lines[1:]:
+                record = _parse_json_line(line)
+                shard = _shard_from_record(record)
+                if (
+                    shard is None
+                    or shard.index != len(verified)
+                    or shard.row_offset != expected_offset
+                    or shard.data_offset != data_end
+                    or shard.data_offset + shard.data_len > data_size
+                ):
+                    break
+                data_fh.seek(shard.data_offset)
+                data = _read_exact(data_fh, shard.data_len)
+                if (
+                    len(data) != shard.data_len
+                    or hashlib.sha256(data).hexdigest() != shard.mask_sha256
+                ):
+                    break
+                verified.append(shard)
+                expected_offset += shard.n_rows
+                data_end = shard.data_offset + shard.data_len
+        self.verified = verified
+        # Truncate torn tails so appends continue from the valid cut.
+        with self._opener(self.journal_path, "r+", encoding="utf-8") as fh:
+            keep = lines[: 1 + len(verified)]
+            fh.seek(0)
+            fh.write("".join(line + "\n" for line in keep))
+            fh.truncate()
+        with self._opener(self.masks_path, "r+b") as fh:
+            fh.truncate(data_end)
+
+    def _open_for_append(self) -> None:
+        self._journal_fh = self._opener(
+            self.journal_path, "a", encoding="utf-8"
+        )
+        self._masks_fh = self._opener(self.masks_path, "ab")
+
+
+def _parse_json_line(line: str):
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        return None
+
+
+def _shard_from_record(record) -> JournalShard | None:
+    if not isinstance(record, dict):
+        return None
+    try:
+        shard = JournalShard(
+            index=int(record["index"]),
+            row_offset=int(record["row_offset"]),
+            n_rows=int(record["n_rows"]),
+            error_cells=int(record["error_cells"]),
+            mask_sha256=str(record["mask_sha256"]),
+            data_offset=int(record["data_offset"]),
+            data_len=int(record["data_len"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if shard.n_rows < 1 or shard.data_len < 0 or shard.data_offset < 0:
+        return None
+    return shard
+
+
+def _read_exact(fh, size: int) -> bytes:
+    """Read exactly ``size`` bytes, looping over short reads."""
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining > 0:
+        chunk = fh.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

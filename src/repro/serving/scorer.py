@@ -267,7 +267,7 @@ class BatchScorer:
         )
 
     # ------------------------------------------------------------------
-    def score_chunks(self, chunks, *, chunk_rows=None, n_jobs=None):
+    def score_chunks(self, chunks, *, chunk_rows=None, n_jobs=None, journal=None):
         """Stream-score an iterable of table chunks, bounded memory.
 
         Delegates to :func:`repro.serving.streaming.score_chunks`; the
@@ -281,13 +281,27 @@ class BatchScorer:
             chunks,
             chunk_rows=chunk_rows,
             n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
+            journal=journal,
         )
 
-    def score_csv(self, path, *, chunk_rows=None, n_jobs=None):
+    def score_csv(
+        self,
+        path,
+        *,
+        chunk_rows=None,
+        n_jobs=None,
+        journal_dir=None,
+        resume=False,
+        bad_rows=None,
+        quarantine_path=None,
+        opener=None,
+    ):
         """Stream-score a CSV file shard-by-shard (out-of-core).
 
         Delegates to :func:`repro.serving.streaming.score_csv`; the
-        file is never materialized whole.
+        file is never materialized whole.  ``journal_dir``/``resume``
+        make the run resumable after a crash, ``bad_rows``/
+        ``quarantine_path`` pick the malformed-row policy (PR 8).
         """
         from repro.serving import streaming
 
@@ -296,6 +310,11 @@ class BatchScorer:
             path,
             chunk_rows=chunk_rows,
             n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
+            journal_dir=journal_dir,
+            resume=resume,
+            bad_rows=bad_rows,
+            quarantine_path=quarantine_path,
+            opener=opener,
         )
 
     def validate_rows(self, rows: Sequence[Mapping[str, str]]) -> None:

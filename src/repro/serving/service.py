@@ -20,6 +20,29 @@ oversized upload never materialises in memory), and socket reads carry
 a ``read_timeout_s`` deadline so a stalled client cannot pin a handler
 thread forever.
 
+Resilience (PR 8):
+
+* **load shedding** — admission to the micro-batch queue is bounded by
+  ``max_queue_rows``; a request that would overflow it is *shed* with
+  HTTP 503, code ``overloaded`` and a ``Retry-After`` header, instead
+  of growing an unbounded backlog whose every waiter times out.  Shed
+  requests never corrupt admitted ones (the queue is untouched).
+* **deadlines** — each request carries a deadline (``deadline_s``
+  constructor knob, per-request ``deadline_s`` field in the payload,
+  whichever is sooner); a request still unscored when it expires gets
+  HTTP 504, code ``deadline_exceeded``, and the worker discards
+  expired entries instead of scoring rows nobody is waiting for.
+* **graceful drain** — :meth:`ScoringService.drain` stops admitting
+  (new /score requests get 503 ``draining``), waits for the queue and
+  in-flight batch to finish, then stops; the CLI wires it to SIGTERM.
+* **readiness vs liveness** — ``GET /readyz`` answers 200 only while
+  the service admits work (503 while draining); ``GET /healthz`` stays
+  liveness + counters (including shed / expired / reload counts).
+* **hot reload** — ``POST /reload`` loads a new artifact (same schema
+  required) and swaps the scorer atomically between batches: in-flight
+  requests finish on the scorer they were admitted under.
+
+
 Requests are **micro-batched**: handler threads enqueue their rows and
 block; a single scoring worker drains whatever accumulated within a
 short linger window, scores it as *one* table (one featurization pass,
@@ -55,6 +78,18 @@ REQUEST_TIMEOUT_S = 120.0
 #: the service-level defaults; both are constructor knobs.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 DEFAULT_READ_TIMEOUT_S = 30.0
+#: Admission cap: rows allowed to wait in the micro-batch queue before
+#: new requests are shed with 503, and the Retry-After hint they get.
+DEFAULT_MAX_QUEUE_ROWS = 16_384
+DEFAULT_RETRY_AFTER_S = 1
+
+
+class ServiceOverloaded(ReproError):
+    """The admission queue is full; the request was shed, not queued."""
+
+
+class DeadlineExceeded(ReproError):
+    """The request's deadline expired before its batch was scored."""
 
 
 @dataclass
@@ -62,6 +97,7 @@ class _Pending:
     """One enqueued /score request awaiting its slice of a batch."""
 
     rows: list[dict]
+    deadline: float | None = None
     event: threading.Event = field(default_factory=threading.Event)
     flags: list[list[bool]] | None = None
     batched_with: int = 0
@@ -69,48 +105,110 @@ class _Pending:
 
 
 class _MicroBatcher:
-    """Queue + worker that scores concurrent requests as one table."""
+    """Queue + worker that scores concurrent requests as one table.
+
+    The queue is *bounded* (``max_queue_rows``): a submit that would
+    overflow it raises :class:`ServiceOverloaded` without touching the
+    queue — shedding is load-invisible to admitted requests.  Each
+    entry may carry a monotonic deadline; the worker discards expired
+    entries instead of scoring them, and the submitting handler raises
+    :class:`DeadlineExceeded`.
+    """
 
     def __init__(
         self,
         scorer: BatchScorer,
         linger_s: float = DEFAULT_LINGER_S,
         max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
+        max_queue_rows: int = DEFAULT_MAX_QUEUE_ROWS,
     ) -> None:
         self._scorer = scorer
         self._linger_s = linger_s
         self._max_batch_rows = max_batch_rows
+        self._max_queue_rows = max_queue_rows
         self._queue: deque[_Pending] = deque()
+        self._queued_rows = 0
+        self._inflight = 0
         self._cond = threading.Condition()
         self._stopped = False
         self.n_batches = 0
         self.n_rows = 0
+        self.n_shed = 0
+        self.n_expired = 0
         self._worker = threading.Thread(
             target=self._loop, name="score-batcher", daemon=True
         )
         self._worker.start()
 
-    def submit(self, rows: list[dict]) -> _Pending:
+    def set_scorer(self, scorer: BatchScorer) -> None:
+        """Atomically swap the scorer used for *future* batches.
+
+        The worker reads the reference once per batch, so an in-flight
+        batch finishes on the scorer it started with.
+        """
+        with self._cond:
+            self._scorer = scorer
+
+    @property
+    def queued_rows(self) -> int:
+        return self._queued_rows
+
+    def submit(
+        self, rows: list[dict], deadline_s: float | None = None
+    ) -> _Pending:
         """Enqueue ``rows`` and block until their flags are ready."""
-        pending = _Pending(rows=rows)
+        pending = _Pending(
+            rows=rows,
+            deadline=(
+                time.monotonic() + deadline_s
+                if deadline_s is not None
+                else None
+            ),
+        )
         with self._cond:
             if self._stopped:
                 raise ReproError("scoring service is shut down")
+            if self._queued_rows + len(rows) > self._max_queue_rows:
+                self.n_shed += 1
+                raise ServiceOverloaded(
+                    f"admission queue is full "
+                    f"({self._queued_rows} rows waiting, cap "
+                    f"{self._max_queue_rows}); retry shortly"
+                )
             self._queue.append(pending)
+            self._queued_rows += len(rows)
             self._cond.notify_all()
-        if not pending.event.wait(REQUEST_TIMEOUT_S):
+        wait_s = (
+            min(deadline_s, REQUEST_TIMEOUT_S)
+            if deadline_s is not None
+            else REQUEST_TIMEOUT_S
+        )
+        if not pending.event.wait(wait_s):
             # Abandoned by its handler: drop it from the queue so the
             # worker never scores rows nobody will read (if it already
             # joined an in-flight batch, that batch finishes normally).
             with self._cond:
                 try:
                     self._queue.remove(pending)
+                    self._queued_rows -= len(pending.rows)
                 except ValueError:
                     pass
+                if pending.deadline is not None:
+                    self.n_expired += 1
+            if pending.deadline is not None:
+                raise DeadlineExceeded(
+                    f"request deadline ({deadline_s}s) expired before "
+                    f"its batch was scored"
+                )
             raise TimeoutError("scoring request timed out")
         if pending.error is not None:
             raise pending.error
         return pending
+
+    def idle(self) -> bool:
+        """True when nothing is queued and no batch is being scored."""
+        with self._cond:
+            return not self._queue and self._inflight == 0
 
     def stop(self) -> None:
         with self._cond:
@@ -119,19 +217,49 @@ class _MicroBatcher:
         self._worker.join(timeout=5)
 
     # ------------------------------------------------------------------
+    def _pop_live(self) -> _Pending | None:
+        """Pop the next unexpired entry (caller holds the lock).
+
+        Expired entries are failed with :class:`DeadlineExceeded` on
+        the spot — their handler threads wake immediately rather than
+        at their own wait timeout, and the worker never scores them.
+        """
+        while self._queue:
+            pending = self._queue.popleft()
+            self._queued_rows -= len(pending.rows)
+            if (
+                pending.deadline is not None
+                and time.monotonic() > pending.deadline
+            ):
+                self.n_expired += 1
+                pending.error = DeadlineExceeded(
+                    "request deadline expired while queued"
+                )
+                pending.event.set()
+                continue
+            return pending
+        return None
+
     def _collect_batch(self) -> list[_Pending]:
         """Block for the first request, linger briefly for company."""
         with self._cond:
-            while not self._queue and not self._stopped:
-                self._cond.wait(0.1)
-            if self._stopped and not self._queue:
-                return []
-            batch = [self._queue.popleft()]
-            total = len(batch[0].rows)
+            first = None
+            while first is None:
+                while not self._queue and not self._stopped:
+                    self._cond.wait(0.1)
+                if self._stopped and not self._queue:
+                    return []
+                # May come back empty-handed when every queued entry
+                # had already expired — keep waiting, don't stop.
+                first = self._pop_live()
+            batch = [first]
+            total = len(first.rows)
             deadline = time.monotonic() + self._linger_s
             while total < self._max_batch_rows:
                 if self._queue:
-                    nxt = self._queue.popleft()
+                    nxt = self._pop_live()
+                    if nxt is None:
+                        break
                     batch.append(nxt)
                     total += len(nxt.rows)
                     continue
@@ -141,6 +269,7 @@ class _MicroBatcher:
                 self._cond.wait(remaining)
                 if not self._queue:
                     break
+            self._inflight += 1
             return batch
 
     def _loop(self) -> None:
@@ -148,10 +277,12 @@ class _MicroBatcher:
             batch = self._collect_batch()
             if not batch:
                 return
+            with self._cond:
+                scorer = self._scorer
             rows = [row for pending in batch for row in pending.rows]
             try:
                 if rows:
-                    result = self._scorer.score_rows(rows, name="request")
+                    result = scorer.score_rows(rows, name="request")
                     flags = result.mask.matrix
                 else:
                     flags = None
@@ -171,6 +302,9 @@ class _MicroBatcher:
             finally:
                 for pending in batch:
                     pending.event.set()
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
 
 
 class ScoringService:
@@ -185,32 +319,49 @@ class ScoringService:
         max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        max_queue_rows: int = DEFAULT_MAX_QUEUE_ROWS,
+        deadline_s: float | None = None,
+        retry_after_s: int = DEFAULT_RETRY_AFTER_S,
         breaker_state=None,
+        artifact_path: str | Path | None = None,
     ) -> None:
         self.scorer = scorer
         self.started_at = time.time()
         self.n_requests = 0
+        self.n_reloads = 0
         self.max_body_bytes = max_body_bytes
         self.read_timeout_s = read_timeout_s
+        #: Default per-request deadline; a payload's own "deadline_s"
+        #: tightens (never loosens) it.  None = REQUEST_TIMEOUT_S only.
+        self.deadline_s = deadline_s
+        self.retry_after_s = retry_after_s
+        #: Where the scorer was loaded from — the default /reload
+        #: source.  None for live-pipeline services.
+        self.artifact_path = (
+            Path(artifact_path) if artifact_path is not None else None
+        )
         #: Optional zero-arg callable returning the live circuit
         #: breaker's snapshot dict — wire it when the service fronts a
         #: pipeline that still holds its ResilientLLM (a service over a
         #: reloaded artifact has no breaker; /healthz reports null).
         self.breaker_state = breaker_state
         self._stats_lock = threading.Lock()
+        self._draining = False
         self._batcher = _MicroBatcher(
-            scorer, linger_s=linger_s, max_batch_rows=max_batch_rows
+            scorer,
+            linger_s=linger_s,
+            max_batch_rows=max_batch_rows,
+            max_queue_rows=max_queue_rows,
         )
-        self._server = ThreadingHTTPServer(
-            (host, port), _make_handler(self)
-        )
-        self._server.daemon_threads = True
+        self._server = _Server((host, port), _make_handler(self))
         self._thread: threading.Thread | None = None
+        self._serving = False
 
     @classmethod
     def from_artifact(
         cls, path: str | Path, n_jobs: int | None = None, **kwargs
     ) -> "ScoringService":
+        kwargs.setdefault("artifact_path", path)
         return cls(BatchScorer.from_artifact(path, n_jobs=n_jobs), **kwargs)
 
     # ------------------------------------------------------------------
@@ -228,6 +379,7 @@ class ScoringService:
 
     def start(self) -> "ScoringService":
         """Serve in a daemon thread (tests, embedding in other code)."""
+        self._serving = True
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="score-http", daemon=True
         )
@@ -236,37 +388,134 @@ class ScoringService:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI entry point)."""
-        self._server.serve_forever()
+        self._serving = True
+        try:
+            self._server.serve_forever()
+        finally:
+            self._serving = False
 
     def stop(self) -> None:
-        self._server.shutdown()
+        # BaseServer.shutdown() blocks on an event that only
+        # serve_forever() sets — calling it on a never-started (or
+        # already-stopped) service would wait forever.
+        if self._serving:
+            self._server.shutdown()
+            self._serving = False
         self._server.server_close()
         self._batcher.stop()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Stop admitting, let in-flight work finish, then stop.
+
+        New ``/score`` requests are rejected with 503 ``draining`` the
+        moment this is called; already-admitted requests are scored and
+        answered normally.  Returns True when the queue drained inside
+        ``timeout_s`` (the service is stopped either way — a hung batch
+        should not block process exit forever).
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout_s
+        drained = False
+        while time.monotonic() < deadline:
+            if self._batcher.idle():
+                drained = True
+                break
+            time.sleep(0.02)
+        self.stop()
+        return drained
+
     # ------------------------------------------------------------------
     def handle_score(self, payload: dict) -> dict:
         """Validate one /score payload and run it through the batcher."""
+        if self._draining:
+            raise ServiceOverloaded(
+                "service is draining for shutdown; retry against "
+                "another replica"
+            )
         rows = payload.get("rows")
         if not isinstance(rows, list) or not all(
             isinstance(row, dict) for row in rows
         ):
             raise ArtifactError('body must be {"rows": [{attr: value}, ...]}')
+        deadline_s = self.deadline_s
+        if "deadline_s" in payload:
+            try:
+                requested = float(payload["deadline_s"])
+            except (TypeError, ValueError):
+                raise ArtifactError(
+                    f"deadline_s must be a positive number, "
+                    f"got {payload['deadline_s']!r}"
+                ) from None
+            if requested <= 0:
+                raise ArtifactError(
+                    f"deadline_s must be a positive number, "
+                    f"got {requested}"
+                )
+            deadline_s = (
+                min(deadline_s, requested)
+                if deadline_s is not None
+                else requested
+            )
         normalised = [
             {str(k): "" if v is None else str(v) for k, v in row.items()}
             for row in rows
         ]
         # Validate before enqueueing: a bad request must fail alone,
         # not poison the micro-batch it would have joined.
-        self.scorer.validate_rows(normalised)
-        pending = self._batcher.submit(normalised)
+        scorer = self.scorer
+        scorer.validate_rows(normalised)
+        pending = self._batcher.submit(normalised, deadline_s=deadline_s)
         return {
-            "attributes": self.scorer.attributes,
+            "attributes": scorer.attributes,
             "flags": pending.flags,
             "n_rows": len(normalised),
             "batched_with": pending.batched_with,
+        }
+
+    def reload_artifact(self, path: str | Path | None = None) -> dict:
+        """Swap in a freshly loaded artifact without dropping requests.
+
+        ``path`` defaults to the artifact the service was started from.
+        The new artifact must carry the same attribute schema — a
+        service cannot change its wire contract mid-flight — anything
+        else raises :class:`ArtifactError` and the old scorer keeps
+        serving.
+        The swap is atomic at a batch boundary: requests admitted
+        before it finish on the old scorer.
+        """
+        target = Path(path) if path is not None else self.artifact_path
+        if target is None:
+            raise ArtifactError(
+                "no artifact path: the service was not started from an "
+                "artifact and the reload request named none"
+            )
+        fresh = BatchScorer.from_artifact(
+            target, n_jobs=self.scorer.config.n_jobs
+        )
+        if fresh.attributes != self.scorer.attributes:
+            raise ArtifactError(
+                f"reload schema mismatch: serving {self.scorer.attributes!r}"
+                f", {target} carries {fresh.attributes!r}"
+            )
+        self._batcher.set_scorer(fresh)
+        self.scorer = fresh
+        self.artifact_path = target
+        with self._stats_lock:
+            self.n_reloads += 1
+        return {
+            "reloaded": True,
+            "artifact": str(target),
+            "llm_model": fresh.llm_model,
+            "train_rows": fresh.train_rows,
+            "arrays_sha256": fresh.info.get("arrays_sha256"),
+            "reloads": self.n_reloads,
         }
 
     def health(self) -> dict:
@@ -278,14 +527,37 @@ class ScoringService:
             except Exception:  # health must never 500 over telemetry
                 breaker = {"state": "unknown"}
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": self.n_requests,
             "batches": self._batcher.n_batches,
             "rows_scored": self._batcher.n_rows,
+            "queued_rows": self._batcher.queued_rows,
+            "shed": self._batcher.n_shed,
+            "deadline_expired": self._batcher.n_expired,
+            "reloads": self.n_reloads,
             "degraded_attrs": resilience.get("degraded_attrs") or {},
             "circuit_breaker": breaker,
         }
+
+    def readiness(self) -> tuple[int, dict]:
+        """The /readyz answer: (status, body).
+
+        Distinct from liveness: a draining replica is still *alive*
+        (healthz 200, so orchestrators don't kill it mid-drain) but not
+        *ready* (readyz 503, so load balancers stop routing to it).
+        """
+        if self._draining:
+            return 503, {"ready": False, "reason": "draining"}
+        return 200, {"ready": True}
+
+
+class _Server(ThreadingHTTPServer):
+    # Deep accept backlog: bursts past the admission cap must be shed
+    # at the application layer with a clean 503 + Retry-After, not by
+    # kernel connection resets when the default backlog (5) overflows.
+    request_queue_size = 128
+    daemon_threads = True
 
 
 class _PayloadTooLarge(Exception):
@@ -330,9 +602,25 @@ def _make_handler(service: ScoringService):
                 raise _PayloadTooLarge
             return self.rfile.read(length)
 
+        def _send_shed(self, message: str) -> None:
+            # 503 + Retry-After: the one header a well-behaved client
+            # needs to back off instead of hammering a full queue.
+            body = json.dumps(
+                {"error": message, "code": "overloaded"}
+            ).encode("utf-8")
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Retry-After", str(service.retry_after_s))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:
             if self.path == "/healthz":
                 self._send(200, service.health())
+            elif self.path == "/readyz":
+                status, body = service.readiness()
+                self._send(status, body)
             elif self.path == "/artifact":
                 self._send(200, service.scorer.info)
             else:
@@ -341,6 +629,9 @@ def _make_handler(service: ScoringService):
                 )
 
         def do_POST(self) -> None:
+            if self.path == "/reload":
+                self._handle_reload()
+                return
             if self.path != "/score":
                 self._send_error(
                     404, "not_found", f"unknown path {self.path!r}"
@@ -367,9 +658,35 @@ def _make_handler(service: ScoringService):
                 )
             except json.JSONDecodeError as exc:
                 self._send_error(400, "invalid_json", f"invalid JSON: {exc}")
+            except ServiceOverloaded as exc:
+                self._send_shed(str(exc))
+            except DeadlineExceeded as exc:
+                self._send_error(504, "deadline_exceeded", str(exc))
+            except TimeoutError as exc:
+                self._send_error(504, "deadline_exceeded", str(exc))
             except ReproError as exc:
                 self._send_error(400, "bad_request", str(exc))
             except Exception as exc:  # internal failure, still JSON
+                self._send_error(500, "internal", f"internal error: {exc}")
+
+        def _handle_reload(self) -> None:
+            try:
+                payload = json.loads(self._read_body() or b"{}")
+                if not isinstance(payload, dict):
+                    raise ArtifactError("body must be a JSON object")
+                self._send(
+                    200, service.reload_artifact(payload.get("artifact"))
+                )
+            except _PayloadTooLarge:
+                self.close_connection = True
+                self._send_error(
+                    413, "payload_too_large", "reload body too large"
+                )
+            except json.JSONDecodeError as exc:
+                self._send_error(400, "invalid_json", f"invalid JSON: {exc}")
+            except ReproError as exc:
+                self._send_error(400, "bad_request", str(exc))
+            except Exception as exc:
                 self._send_error(500, "internal", f"internal error: {exc}")
 
     return Handler

@@ -22,6 +22,14 @@ share the batch.  This module exploits that in two directions:
   independent of how the stream is chunked), letting the LLM-guided
   fit run on a bounded sample of a million-row table whose frozen
   statistics then score the full table shard-by-shard.
+* **resumable jobs** (PR 8) — a :class:`~repro.serving.jobs.ScoreJournal`
+  records every completed shard (mask bytes + SHA-256) under a job
+  fingerprint as the stream is scored; a killed ``score_csv`` re-run
+  with ``resume=True`` replays the journal's verified prefix with
+  **zero re-scored shards** and continues from the cut, assembling a
+  mask byte-identical to the uninterrupted run.  Malformed CSV rows
+  can be quarantined to a sidecar (``bad_rows="quarantine"``) instead
+  of killing the job.
 
 Zero LLM calls happen anywhere in this module: a ``BatchScorer`` holds
 no LLM client at all, and sampling is pure row selection.
@@ -36,12 +44,13 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.data.csvio import iter_csv_chunks
+from repro.data.csvio import QuarantineWriter, iter_csv_chunks
 from repro.data.mask import ErrorMask
 from repro.data.table import Table
 from repro.errors import DataError
 from repro.ml.rng import spawn
 from repro.parallel import effective_jobs, parallel_map_stream
+from repro.serving.jobs import ScoreJournal, job_fingerprint
 
 #: Default shard size for out-of-core scoring when the caller does not
 #: choose one (``config.chunk_rows`` overrides).  Sized so one shard's
@@ -270,6 +279,7 @@ def score_chunks(
     *,
     chunk_rows: int | None = None,
     n_jobs: int = 1,
+    journal: ScoreJournal | None = None,
 ) -> StreamingScoreResult:
     """Score a stream of table chunks, bounded memory, ordered assembly.
 
@@ -285,6 +295,13 @@ def score_chunks(
     ``(chunk_rows, n_jobs)`` combination and equal to the in-memory
     path.  Raises :class:`~repro.errors.ArtifactError` on the first
     chunk whose schema differs from the fitted one.
+
+    With a ``journal`` (see :mod:`repro.serving.jobs`) every completed
+    shard is persisted as it is assembled, and the journal's already-
+    verified prefix is *replayed* instead of re-scored: those chunks
+    are pulled from the stream only to confirm their shape, their
+    masks come from disk.  The caller owns the journal's lifecycle
+    (``close``); this function never closes it.
     """
     jobs = effective_jobs(n_jobs)
     # One pool level: the shard fan-out owns the workers, each shard
@@ -308,25 +325,77 @@ def score_chunks(
     shard_masks: list[ErrorMask] = []
     shards: list[ShardResult] = []
     dataset = None
-    for offset, chunk, result, seconds in parallel_map_stream(
-        score_one, with_offsets(chunks), n_jobs=jobs
-    ):
+    stream = with_offsets(chunks)
+
+    # Replay the journal's verified prefix: each recorded shard must
+    # line up with the live stream (same offset, same row count) — a
+    # drifted source means the fingerprint guard was defeated (e.g. a
+    # same-size edit), and splicing would corrupt the mask.
+    resumed = list(journal.verified) if journal is not None else []
+    for record in resumed:
+        try:
+            offset, chunk = next(stream)
+        except StopIteration:
+            raise DataError(
+                f"journal records {len(resumed)} shards but the source "
+                f"stream ended after {record.index}; the source changed "
+                "— re-run without resume"
+            ) from None
+        if offset != record.row_offset or chunk.n_rows != record.n_rows:
+            raise DataError(
+                f"journal shard {record.index} covers rows "
+                f"{record.row_offset}..{record.row_offset + record.n_rows} "
+                f"but the stream yields {offset}..{offset + chunk.n_rows}; "
+                "the source changed — re-run without resume"
+            )
         dataset = dataset or chunk.name
-        shard_masks.append(result.mask)
+        shard_masks.append(journal.shard_mask(record, scorer.attributes))
         shards.append(
             ShardResult(
-                index=len(shards),
-                row_offset=offset,
-                n_rows=chunk.n_rows,
-                error_cells=result.mask.error_count(),
-                mask_sha256=_sha256(result.mask.matrix.tobytes()),
-                seconds=seconds,
+                index=record.index,
+                row_offset=record.row_offset,
+                n_rows=record.n_rows,
+                error_cells=record.error_cells,
+                mask_sha256=record.mask_sha256,
+                seconds=0.0,
             )
         )
+
+    for offset, chunk, result, seconds in parallel_map_stream(
+        score_one, stream, n_jobs=jobs
+    ):
+        dataset = dataset or chunk.name
+        shard = ShardResult(
+            index=len(shards),
+            row_offset=offset,
+            n_rows=chunk.n_rows,
+            error_cells=result.mask.error_count(),
+            mask_sha256=_sha256(result.mask.matrix.tobytes()),
+            seconds=seconds,
+        )
+        if journal is not None:
+            journal.append(
+                index=shard.index,
+                row_offset=shard.row_offset,
+                mask=result.mask,
+                mask_sha256=shard.mask_sha256,
+            )
+        shard_masks.append(result.mask)
+        shards.append(shard)
     if shard_masks:
         mask = ErrorMask.vstack(shard_masks)
     else:
         mask = ErrorMask.zeros(scorer.attributes, 0)
+    details = {
+        "engines": dict(scorer.info.get("engines") or {}),
+        "train_rows": scorer.train_rows,
+        "serving": True,
+        "streaming": True,
+    }
+    if journal is not None:
+        details["journal"] = str(journal.directory)
+        details["resumed_shards"] = len(resumed)
+        details["journal_invalidated"] = journal.invalidated
     return StreamingScoreResult(
         mask=mask,
         shards=shards,
@@ -334,12 +403,7 @@ def score_chunks(
         jobs=jobs,
         seconds=time.perf_counter() - start,
         dataset=dataset,
-        details={
-            "engines": dict(scorer.info.get("engines") or {}),
-            "train_rows": scorer.train_rows,
-            "serving": True,
-            "streaming": True,
-        },
+        details=details,
     )
 
 
@@ -349,20 +413,77 @@ def score_csv(
     *,
     chunk_rows: int | None = None,
     n_jobs: int = 1,
+    journal_dir: str | Path | None = None,
+    resume: bool = False,
+    bad_rows: str | None = None,
+    quarantine_path: str | Path | None = None,
+    opener=None,
 ) -> StreamingScoreResult:
     """Stream-score a CSV file shard-by-shard with bounded memory.
 
     The out-of-core ``score-csv`` path: the file is never materialized
     whole — :func:`repro.data.csvio.iter_csv_chunks` feeds
     :func:`score_chunks` one shard at a time.
+
+    With ``journal_dir`` the run is **resumable**: every completed shard
+    is journaled (see :mod:`repro.serving.jobs`), and ``resume=True``
+    replays the journal's verified prefix without re-scoring, provided
+    the job fingerprint (artifact, source path + size, ``chunk_rows``,
+    worker count, bad-row policy) still matches — otherwise the journal
+    is invalidated and the run restarts at shard 0.  ``bad_rows``
+    (default: ``scorer.config.bad_rows``) picks the malformed-row
+    policy; under ``"quarantine"`` offenders land in
+    ``quarantine_path`` (default ``<path>.quarantine.jsonl``) instead
+    of failing the job.  ``opener`` is the chaos-layer injection point
+    for the journal and sidecar files.
     """
+    path = Path(path)
     chunk_rows = chunk_rows or scorer.config.chunk_rows or DEFAULT_CHUNK_ROWS
-    return score_chunks(
-        scorer,
-        iter_csv_chunks(path, chunk_rows),
-        chunk_rows=chunk_rows,
-        n_jobs=n_jobs,
-    )
+    if bad_rows is None:
+        bad_rows = getattr(scorer.config, "bad_rows", "fail")
+    if resume and journal_dir is None:
+        raise DataError("resume=True requires a journal_dir")
+    jobs = effective_jobs(n_jobs)
+
+    journal = None
+    quarantine = None
+    try:
+        if bad_rows == "quarantine":
+            quarantine = QuarantineWriter(
+                quarantine_path or path.with_suffix(path.suffix + ".quarantine.jsonl"),
+                opener=opener,
+            )
+        if journal_dir is not None:
+            journal = ScoreJournal.begin(
+                journal_dir,
+                job_fingerprint(
+                    scorer,
+                    path,
+                    chunk_rows=chunk_rows,
+                    n_jobs=jobs,
+                    bad_rows=bad_rows,
+                ),
+                resume=resume,
+                opener=opener,
+            )
+        result = score_chunks(
+            scorer,
+            iter_csv_chunks(
+                path, chunk_rows, bad_rows=bad_rows, quarantine=quarantine
+            ),
+            chunk_rows=chunk_rows,
+            n_jobs=jobs,
+            journal=journal,
+        )
+        if quarantine is not None:
+            result.details["quarantined_rows"] = quarantine.total
+            result.details["quarantine_path"] = str(quarantine.path)
+        return result
+    finally:
+        if journal is not None:
+            journal.close()
+        if quarantine is not None:
+            quarantine.close()
 
 
 def iter_table_chunks(table: Table, chunk_rows: int) -> Iterator[Table]:

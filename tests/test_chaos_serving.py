@@ -1,0 +1,331 @@
+"""Chaos suite, serving side: IO faults vs the score journal, load vs
+the hardened service.
+
+The PR 8 acceptance pins:
+
+* a journaled ``score_csv`` killed by an *injected torn write* at any
+  shard — the journal's own append is what fails — resumes to a global
+  mask **byte-identical** to the uninterrupted run with **zero
+  re-scored verified shards**;
+* seeded :class:`~repro.data.faults.FaultyIO` schedules are
+  deterministic: same plan, same faults, exact stats accounting;
+* a service saturated far past its admission cap returns *only*
+  well-formed JSON responses (200 / 503 / 504 — nothing torn, nothing
+  misrouted) while ``/healthz`` accounts for every shed request.
+
+Marked ``chaos`` so CI runs it in the dedicated ``pytest -m chaos``
+job next to the PR 6 LLM-fault suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.csvio import write_csv
+from repro.data.faults import FaultyIO, IOFaultPlan
+from repro.data.mask import ErrorMask
+from repro.data.registry import get_dataset
+from repro.serving.scorer import BatchScorer
+from repro.serving.service import ScoringService
+
+pytestmark = pytest.mark.chaos
+
+
+def _sha(mask: ErrorMask) -> str:
+    return hashlib.sha256(mask.matrix.tobytes()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    config = ZeroEDConfig(
+        label_rate=0.1,
+        mlp_epochs=8,
+        criteria_sample_size=20,
+        embedding_dim=8,
+        seed=7,
+    )
+    dirty = get_dataset("hospital").make(n_rows=150, seed=7).dirty
+    return ZeroED(config).fit(dirty).save(
+        tmp_path_factory.mktemp("chaos-art") / "detector"
+    )
+
+
+@pytest.fixture(scope="module")
+def scorer(artifact_dir) -> BatchScorer:
+    return BatchScorer.from_artifact(artifact_dir)
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    target = tmp_path_factory.mktemp("chaos-src") / "foreign.csv"
+    write_csv(get_dataset("hospital").make(n_rows=150, seed=11).dirty, target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def baseline_sha(scorer, csv_path) -> str:
+    return _sha(scorer.score_csv(csv_path, chunk_rows=25).mask)
+
+
+class TestIOFaultDeterminism:
+    def test_same_seed_same_schedule(self, tmp_path):
+        def run(seed: int) -> tuple[list[str], dict]:
+            chaos = FaultyIO(IOFaultPlan(
+                torn_write_rate=0.3, enospc_rate=0.2, seed=seed
+            ))
+            events = []
+            path = tmp_path / f"t{seed}-{len(list(tmp_path.iterdir()))}"
+            fh = chaos.open(path, "wb")
+            for i in range(20):
+                try:
+                    fh.write(b"x" * 64)
+                    events.append("ok")
+                except OSError as exc:
+                    events.append(f"err{exc.errno}")
+            fh.close()
+            return events, chaos.stats.summary()
+
+        first_events, first_stats = run(42)
+        second_events, second_stats = run(42)
+        assert first_events == second_events
+        assert first_stats == second_stats
+        assert first_stats["torn_writes"] + first_stats["enospc"] > 0
+        other_events, _ = run(43)
+        assert other_events != first_events
+
+    def test_torn_write_persists_a_strict_prefix(self, tmp_path):
+        chaos = FaultyIO(IOFaultPlan(torn_write_rate=1.0, seed=0))
+        path = tmp_path / "torn"
+        fh = chaos.open(path, "wb")
+        with pytest.raises(OSError):
+            fh.write(b"0123456789")
+        fh.close()
+        data = path.read_bytes()
+        assert 0 < len(data) < 10
+        assert b"0123456789".startswith(data)
+
+    def test_partial_reads_rewind(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(bytes(range(200)))
+        chaos = FaultyIO(IOFaultPlan(partial_read_rate=1.0, seed=3))
+        fh = chaos.open(path, "rb")
+        chunks = []
+        while True:
+            piece = fh.read(64)
+            if not piece:
+                break
+            chunks.append(piece)
+        fh.close()
+        # Short reads never lose or duplicate bytes.
+        assert b"".join(chunks) == bytes(range(200))
+        assert chaos.stats.summary()["partial_reads"] > 0
+
+    def test_permission_faults_hit_open(self, tmp_path):
+        chaos = FaultyIO(IOFaultPlan(permission_rate=1.0, seed=1,
+                                     max_faults=2))
+        with pytest.raises(PermissionError):
+            chaos.open(tmp_path / "a", "w")
+        with pytest.raises(PermissionError):
+            chaos.open(tmp_path / "b", "w")
+        # max_faults exhausted: the valve opens.
+        fh = chaos.open(tmp_path / "c", "w")
+        fh.close()
+        assert chaos.stats.summary()["permission_errors"] == 2
+
+
+class TestTornJournalResume:
+    """Kill the journal itself mid-append, at every shard, and prove
+    the resumed mask is the uninterrupted one."""
+
+    @pytest.mark.parametrize("torn_seed", [11, 29, 47])
+    def test_torn_append_then_resume_is_byte_identical(
+        self, scorer, csv_path, baseline_sha, tmp_path, torn_seed
+    ):
+        journal_dir = tmp_path / f"journal-{torn_seed}"
+        chaos = FaultyIO(IOFaultPlan(
+            torn_write_rate=0.5, seed=torn_seed, max_faults=1
+        ))
+        # The journaled run dies on the injected ENOSPC from inside
+        # ScoreJournal.append (mask bytes or record, whichever the
+        # seeded schedule hits first).
+        with pytest.raises(OSError):
+            scorer.score_csv(
+                csv_path,
+                chunk_rows=25,
+                journal_dir=journal_dir,
+                opener=chaos.open,
+            )
+        assert chaos.stats.summary()["torn_writes"] == 1
+
+        calls = {"n": 0}
+        original = BatchScorer.score_table
+
+        def counted(self_scorer, table, **kwargs):
+            calls["n"] += 1
+            return original(self_scorer, table, **kwargs)
+
+        BatchScorer.score_table = counted
+        try:
+            result = scorer.score_csv(
+                csv_path,
+                chunk_rows=25,
+                journal_dir=journal_dir,
+                resume=True,
+            )
+        finally:
+            BatchScorer.score_table = original
+        assert _sha(result.mask) == baseline_sha
+        resumed = result.details["resumed_shards"]
+        # Zero re-scored verified shards: the resumed run scores
+        # exactly the complement of the journal's valid prefix.
+        assert calls["n"] == 6 - resumed
+        assert result.details["journal_invalidated"] is False
+
+    def test_every_kill_point_resumes(
+        self, scorer, csv_path, baseline_sha, tmp_path
+    ):
+        """Tear the k-th journal write for every k — each shard issues
+        two appends (mask bytes, then its record), so k ∈ [0, 12)
+        covers both tear positions at all six shards."""
+        for k in range(12):
+            journal_dir = tmp_path / f"k{k}"
+            boom = {"left": k}
+            real_open = open
+
+            def opener(path, mode="r", **kwargs):
+                fh = real_open(path, mode, **kwargs)
+                if "a" not in mode:
+                    return fh
+                return _TearOnNthWrite(fh, boom)
+
+            with pytest.raises(OSError):
+                scorer.score_csv(
+                    csv_path,
+                    chunk_rows=25,
+                    journal_dir=journal_dir,
+                    opener=opener,
+                )
+            result = scorer.score_csv(
+                csv_path,
+                chunk_rows=25,
+                journal_dir=journal_dir,
+                resume=True,
+            )
+            assert _sha(result.mask) == baseline_sha, f"kill at shard {k}"
+
+
+class _TearOnNthWrite:
+    """Tear the (n+1)-th write across this handle: persist half, fail."""
+
+    def __init__(self, inner, counter: dict) -> None:
+        self._inner = inner
+        self._counter = counter
+
+    def write(self, data):
+        if self._counter["left"] == 0:
+            self._counter["left"] = -1  # never fire again
+            kept = data[: max(1, len(data) // 2)]
+            self._inner.write(kept)
+            self._inner.flush()
+            import errno
+
+            raise OSError(errno.ENOSPC, "torn")
+        if self._counter["left"] > 0:
+            self._counter["left"] -= 1
+        return self._inner.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._inner.close()
+        return False
+
+
+class TestSaturatedService:
+    def test_saturation_sheds_cleanly(self, scorer):
+        """Hammer a tiny admission queue from many clients: every
+        response is well-formed 200/503/504, flags are always the
+        right shape, and /healthz accounts for the shed requests."""
+        service = ScoringService(
+            scorer, port=0, max_queue_rows=8, linger_s=0.02
+        ).start()
+        attr = scorer.attributes[0]
+        n_attrs = len(scorer.attributes)
+        statuses: list[int] = []
+        malformed: list[str] = []
+        lock = threading.Lock()
+
+        def client(i: int) -> None:
+            body = json.dumps(
+                {"rows": [{attr: f"v{i}"} for _ in range(4)]}
+            ).encode()
+            request = urllib.request.Request(
+                service.url + "/score",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30) as resp:
+                    status, payload = resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                status, payload = exc.code, json.loads(exc.read())
+            except OSError as exc:
+                with lock:
+                    statuses.append(0)
+                    malformed.append(f"connection error: {exc!r}")
+                return
+            with lock:
+                statuses.append(status)
+                if status == 200:
+                    flags = payload.get("flags")
+                    if (
+                        not isinstance(flags, list)
+                        or len(flags) != 4
+                        or any(len(row) != n_attrs for row in flags)
+                    ):
+                        malformed.append(f"bad 200 body: {payload}")
+                elif status in (503, 504):
+                    if "code" not in payload or "error" not in payload:
+                        malformed.append(f"bad {status} body: {payload}")
+                else:
+                    malformed.append(f"unexpected status {status}")
+
+        try:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(30)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(statuses) == 30
+            assert not malformed, malformed
+            assert statuses.count(200) >= 1  # service kept serving
+            _status, health = _get(service.url + "/healthz")
+            assert health["shed"] == statuses.count(503)
+            # After the burst the service is ready again.
+            status, body = _get(service.url + "/readyz")
+            assert status == 200 and body == {"ready": True}
+        finally:
+            service.stop()
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())

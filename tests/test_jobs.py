@@ -1,0 +1,511 @@
+"""PR 8 resumable streaming jobs: ScoreJournal, kill/resume, quarantine.
+
+Pinned properties:
+
+* **Kill/resume equivalence** — a journaled ``score_csv`` killed after
+  shard ``k`` (k in {0, 1, mid, last}) and re-run with ``resume=True``
+  assembles a global mask **byte-identical** to the uninterrupted run,
+  across shard sizes and worker counts, with **zero re-scored verified
+  shards** (asserted by counting ``score_table`` calls).
+* **Fingerprint invalidation** — a journal written under one artifact /
+  shard size / source file is *not* resumed into a run whose fingerprint
+  differs; the run restarts at shard 0 and still lands the right mask.
+* **Torn-tail recovery** — a journal whose last record or mask bytes
+  are half-written is trusted only up to the longest valid prefix.
+* **Quarantine** — ``bad_rows="quarantine"`` drops malformed rows to an
+  idempotent JSONL sidecar instead of failing the job; ``"fail"`` keeps
+  the historical DataError.
+* **Prompt cancellation** — abandoning ``parallel_map_stream`` cancels
+  queued work; only the bounded in-flight window ever runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.csvio import QuarantineWriter, iter_csv_chunks, write_csv
+from repro.data.mask import ErrorMask
+from repro.data.registry import get_dataset
+from repro.errors import DataError
+from repro.parallel import parallel_map_stream
+from repro.serving.jobs import (
+    JOURNAL_NAME,
+    MASKS_NAME,
+    ScoreJournal,
+    job_fingerprint,
+)
+from repro.serving.scorer import BatchScorer
+
+
+def _sha(mask: ErrorMask) -> str:
+    return hashlib.sha256(mask.matrix.tobytes()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ZeroEDConfig(
+        label_rate=0.1,
+        mlp_epochs=8,
+        criteria_sample_size=20,
+        embedding_dim=8,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(config, tmp_path_factory):
+    dirty = get_dataset("hospital").make(n_rows=150, seed=7).dirty
+    return ZeroED(config).fit(dirty).save(
+        tmp_path_factory.mktemp("artifact") / "detector"
+    )
+
+
+@pytest.fixture(scope="module")
+def scorer(artifact_dir) -> BatchScorer:
+    # From the artifact, not the live fit: the journal fingerprint
+    # pins the artifact's arrays checksum, which only a loaded scorer
+    # carries.
+    return BatchScorer.from_artifact(artifact_dir)
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    target = tmp_path_factory.mktemp("source") / "foreign.csv"
+    write_csv(get_dataset("hospital").make(n_rows=150, seed=11).dirty, target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def baselines(scorer, csv_path):
+    """Uninterrupted-run mask checksums, one per shard size."""
+    return {
+        chunk_rows: _sha(scorer.score_csv(csv_path, chunk_rows=chunk_rows).mask)
+        for chunk_rows in (25, 40)
+    }
+
+
+class _CallCounter:
+    """Counts BatchScorer.score_table calls, optionally killing one."""
+
+    def __init__(self, monkeypatch, kill_after: int | None = None):
+        self.calls = 0
+        self._lock = threading.Lock()
+        original = BatchScorer.score_table
+        counter = self
+
+        def counted(self_scorer, table, **kwargs):
+            with counter._lock:
+                if (
+                    kill_after is not None
+                    and counter.calls >= kill_after
+                ):
+                    raise RuntimeError("injected kill")
+                counter.calls += 1
+            return original(self_scorer, table, **kwargs)
+
+        monkeypatch.setattr(BatchScorer, "score_table", counted)
+
+
+class TestKillResumeGrid:
+    """The ISSUE's acceptance grid: kill-after-shard-k x shard size x
+    workers, resumed mask byte-identical, zero re-scored shards."""
+
+    # 150 rows: chunk_rows=25 -> 6 shards, chunk_rows=40 -> 4 shards.
+    @pytest.mark.parametrize("chunk_rows,n_shards", [(25, 6), (40, 4)])
+    @pytest.mark.parametrize("jobs", [1, 3])
+    @pytest.mark.parametrize("k", [0, 1, "mid", "last"])
+    def test_kill_then_resume_is_byte_identical(
+        self,
+        scorer,
+        csv_path,
+        baselines,
+        tmp_path,
+        monkeypatch,
+        chunk_rows,
+        n_shards,
+        jobs,
+        k,
+    ):
+        kill_after = {
+            0: 0, 1: 1, "mid": n_shards // 2, "last": n_shards - 1
+        }[k]
+        journal_dir = tmp_path / "journal"
+        with monkeypatch.context() as patch:
+            _CallCounter(patch, kill_after=kill_after)
+            with pytest.raises(RuntimeError, match="injected kill"):
+                scorer.score_csv(
+                    csv_path,
+                    chunk_rows=chunk_rows,
+                    n_jobs=jobs,
+                    journal_dir=journal_dir,
+                )
+        # With workers the exact journaled count at the kill is
+        # scheduling-dependent; what must hold is that resume re-scores
+        # exactly the shards the journal does not hold, nothing more.
+        with monkeypatch.context() as patch:
+            counter = _CallCounter(patch)
+            result = scorer.score_csv(
+                csv_path,
+                chunk_rows=chunk_rows,
+                n_jobs=jobs,
+                journal_dir=journal_dir,
+                resume=True,
+            )
+        assert _sha(result.mask) == baselines[chunk_rows]
+        resumed = result.details["resumed_shards"]
+        assert counter.calls == n_shards - resumed
+        if jobs == 1:
+            # Serial kill is deterministic: exactly k shards survived.
+            assert resumed == kill_after
+        assert [s.row_offset for s in result.shards] == [
+            i * chunk_rows for i in range(n_shards)
+        ]
+
+    def test_completed_journal_resumes_with_zero_scoring(
+        self, scorer, csv_path, baselines, tmp_path, monkeypatch
+    ):
+        journal_dir = tmp_path / "journal"
+        scorer.score_csv(csv_path, chunk_rows=40, journal_dir=journal_dir)
+        with monkeypatch.context() as patch:
+            counter = _CallCounter(patch)
+            result = scorer.score_csv(
+                csv_path, chunk_rows=40, journal_dir=journal_dir, resume=True
+            )
+        assert counter.calls == 0
+        assert result.details["resumed_shards"] == 4
+        assert _sha(result.mask) == baselines[40]
+        # Replayed shards carry the recorded checksums in the manifest.
+        manifest = result.manifest()
+        assert all(s["mask_sha256"] for s in manifest["shards"])
+
+    def test_resume_requires_journal_dir(self, scorer, csv_path):
+        with pytest.raises(DataError, match="journal_dir"):
+            scorer.score_csv(csv_path, chunk_rows=40, resume=True)
+
+
+class TestFingerprintInvalidation:
+    def _journaled_run(self, scorer, csv_path, journal_dir, **kwargs):
+        return scorer.score_csv(
+            csv_path, journal_dir=journal_dir, **kwargs
+        )
+
+    def test_chunk_rows_change_invalidates(
+        self, scorer, csv_path, baselines, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        self._journaled_run(scorer, csv_path, journal_dir, chunk_rows=25)
+        result = self._journaled_run(
+            scorer, csv_path, journal_dir, chunk_rows=40, resume=True
+        )
+        assert result.details["journal_invalidated"] is True
+        assert result.details["resumed_shards"] == 0
+        assert _sha(result.mask) == baselines[40]
+
+    def test_artifact_change_invalidates(
+        self, config, scorer, csv_path, baselines, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        self._journaled_run(scorer, csv_path, journal_dir, chunk_rows=40)
+        # Same schema, different training run => different arrays
+        # checksum: the journaled masks describe other frozen stats.
+        import dataclasses
+
+        other_dirty = get_dataset("hospital").make(n_rows=150, seed=23).dirty
+        other_art = ZeroED(
+            dataclasses.replace(config, seed=23)
+        ).fit(other_dirty).save(tmp_path / "other-artifact")
+        other = BatchScorer.from_artifact(other_art)
+        result = other.score_csv(
+            csv_path, chunk_rows=40, journal_dir=journal_dir, resume=True
+        )
+        assert result.details["journal_invalidated"] is True
+        assert result.details["resumed_shards"] == 0
+
+    def test_source_change_invalidates(
+        self, scorer, csv_path, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        self._journaled_run(scorer, csv_path, journal_dir, chunk_rows=40)
+        # A re-written source with a different byte size must not be
+        # spliced onto the old journal.
+        other_csv = tmp_path / "other.csv"
+        write_csv(
+            get_dataset("hospital").make(n_rows=149, seed=13).dirty,
+            other_csv,
+        )
+        result = scorer.score_csv(
+            other_csv, chunk_rows=40, journal_dir=journal_dir, resume=True
+        )
+        assert result.details["journal_invalidated"] is True
+        assert result.details["resumed_shards"] == 0
+
+    def test_fingerprint_carries_the_job_identity(self, scorer, csv_path):
+        fp = job_fingerprint(scorer, csv_path, chunk_rows=40, n_jobs=2)
+        assert fp["artifact_sha256"]
+        assert fp["chunk_rows"] == 40 and fp["jobs"] == 2
+        assert fp["source"] == str(csv_path)
+        assert fp["source_bytes"] == csv_path.stat().st_size
+        assert fp["bad_rows"] == "fail"
+
+
+class TestTornTailRecovery:
+    def _make_journal(self, scorer, csv_path, journal_dir):
+        scorer.score_csv(csv_path, chunk_rows=40, journal_dir=journal_dir)
+        fp = job_fingerprint(scorer, csv_path, chunk_rows=40, n_jobs=1)
+        return fp
+
+    def test_half_written_record_is_truncated(
+        self, scorer, csv_path, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        fp = self._make_journal(scorer, csv_path, journal_dir)
+        journal_file = journal_dir / JOURNAL_NAME
+        lines = journal_file.read_text().splitlines()
+        journal_file.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        with ScoreJournal.begin(journal_dir, fp, resume=True) as journal:
+            assert len(journal.verified) == 3
+            assert not journal.invalidated
+        assert len(journal_file.read_text().splitlines()) == 1 + 3
+
+    def test_corrupt_mask_bytes_cut_the_prefix(
+        self, scorer, csv_path, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        fp = self._make_journal(scorer, csv_path, journal_dir)
+        masks_file = journal_dir / MASKS_NAME
+        blob = bytearray(masks_file.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # flip one bit in shard ~2
+        masks_file.write_bytes(bytes(blob))
+        with ScoreJournal.begin(journal_dir, fp, resume=True) as journal:
+            # Everything from the corrupt shard on is discarded.
+            assert 0 < len(journal.verified) < 4
+            for shard in journal.verified:
+                journal.shard_mask(shard, scorer.attributes)  # re-verifies
+
+    def test_truncated_masks_file_cuts_the_prefix(
+        self, scorer, csv_path, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        fp = self._make_journal(scorer, csv_path, journal_dir)
+        masks_file = journal_dir / MASKS_NAME
+        blob = masks_file.read_bytes()
+        masks_file.write_bytes(blob[: len(blob) // 2])
+        with ScoreJournal.begin(journal_dir, fp, resume=True) as journal:
+            assert len(journal.verified) < 4
+
+    def test_foreign_journal_is_invalidated_not_trusted(
+        self, scorer, csv_path, tmp_path
+    ):
+        journal_dir = tmp_path / "journal"
+        self._make_journal(scorer, csv_path, journal_dir)
+        other_fp = job_fingerprint(
+            scorer, csv_path, chunk_rows=99, n_jobs=1
+        )
+        with ScoreJournal.begin(
+            journal_dir, other_fp, resume=True
+        ) as journal:
+            assert journal.invalidated
+            assert journal.verified == []
+
+
+class TestQuarantine:
+    @pytest.fixture()
+    def bad_csv(self, csv_path, tmp_path):
+        lines = csv_path.read_text().splitlines()
+        lines[3] += ",SPILL,OVER"
+        lines[60] += ",SPILL"
+        target = tmp_path / "bad.csv"
+        target.write_text("\n".join(lines) + "\n")
+        return target
+
+    def test_fail_policy_raises(self, scorer, bad_csv):
+        with pytest.raises(DataError, match="cells"):
+            scorer.score_csv(bad_csv, chunk_rows=40)
+
+    def test_quarantine_policy_scores_the_rest(self, scorer, bad_csv):
+        result = scorer.score_csv(
+            bad_csv, chunk_rows=40, bad_rows="quarantine"
+        )
+        assert result.mask.n_rows == 148
+        assert result.details["quarantined_rows"] == 2
+        sidecar = bad_csv.parent / "bad.csv.quarantine.jsonl"
+        records = [
+            json.loads(line)
+            for line in sidecar.read_text().splitlines()
+        ]
+        assert [r["lineno"] for r in records] == [4, 61]
+        assert records[0]["cells"][-2:] == ["SPILL", "OVER"]
+
+    def test_sidecar_is_idempotent_across_resume(
+        self, scorer, bad_csv, tmp_path, monkeypatch
+    ):
+        journal_dir = tmp_path / "journal"
+        with monkeypatch.context() as patch:
+            _CallCounter(patch, kill_after=2)
+            with pytest.raises(RuntimeError):
+                scorer.score_csv(
+                    bad_csv,
+                    chunk_rows=40,
+                    journal_dir=journal_dir,
+                    bad_rows="quarantine",
+                )
+        result = scorer.score_csv(
+            bad_csv,
+            chunk_rows=40,
+            journal_dir=journal_dir,
+            bad_rows="quarantine",
+            resume=True,
+        )
+        # The resumed run replays the same malformed rows; the sidecar
+        # must not have grown.
+        sidecar = bad_csv.parent / "bad.csv.quarantine.jsonl"
+        assert len(sidecar.read_text().splitlines()) == 2
+        assert result.details["quarantined_rows"] == 2
+        assert result.details["resumed_shards"] == 2
+
+    def test_policy_is_part_of_the_fingerprint(self, scorer, csv_path):
+        fail = job_fingerprint(scorer, csv_path, chunk_rows=40, n_jobs=1)
+        quarantine = job_fingerprint(
+            scorer, csv_path, chunk_rows=40, n_jobs=1, bad_rows="quarantine"
+        )
+        assert fail != quarantine
+
+    def test_config_knob_sets_the_default(self, scorer, bad_csv):
+        import dataclasses
+
+        lenient = BatchScorer(
+            config=dataclasses.replace(
+                scorer.config, bad_rows="quarantine"
+            ),
+            detector=scorer.detector,
+            featurizers=scorer.featurizers,
+            correlated=scorer.correlated,
+            attributes=scorer.attributes,
+            llm_model=scorer.llm_model,
+            train_rows=scorer.train_rows,
+            info=scorer.info,
+        )
+        result = lenient.score_csv(bad_csv, chunk_rows=40)
+        assert result.details["quarantined_rows"] == 2
+
+    def test_chunk_reader_rejects_unknown_policy(self, csv_path):
+        with pytest.raises(DataError, match="bad_rows"):
+            list(iter_csv_chunks(csv_path, 10, bad_rows="ignore"))
+
+    def test_quarantine_writer_dedupes(self, tmp_path):
+        sidecar = tmp_path / "q.jsonl"
+        with QuarantineWriter(sidecar) as writer:
+            writer.write(4, ["a", "b"])
+            writer.write(4, ["a", "b"])
+            assert writer.total == 1
+        with QuarantineWriter(sidecar) as writer:  # reopened
+            writer.write(4, ["a", "b"])
+            writer.write(9, ["c"])
+            assert writer.total == 2
+        assert len(sidecar.read_text().splitlines()) == 2
+
+
+class TestPromptCancellation:
+    def test_abandoned_stream_cancels_queued_work(self):
+        started: list[int] = []
+        release = threading.Event()
+
+        def slow(i: int) -> int:
+            started.append(i)
+            if i:  # item 0 returns immediately so next() can complete
+                release.wait(5.0)
+            return i
+
+        stream = parallel_map_stream(slow, range(50), n_jobs=2, window=4)
+        # Pull one result: the window is now full of blocked workers
+        # plus queued futures.
+        assert next(stream) == 0
+        release.set()
+        t0 = time.monotonic()
+        stream.close()  # abandon: must not wait on 50 items
+        assert time.monotonic() - t0 < 2.0
+        # Only the bounded in-flight window ever ran; the queued tail
+        # was cancelled, not executed.
+        assert 1 <= len(started) <= 8
+
+    def test_worker_error_does_not_hang_teardown(self):
+        def boom(i: int) -> int:
+            if i == 1:
+                raise ValueError("injected")
+            time.sleep(0.01)
+            return i
+
+        with pytest.raises(ValueError, match="injected"):
+            list(parallel_map_stream(boom, range(30), n_jobs=2, window=4))
+
+
+class TestScoreCsvCli:
+    def test_resume_roundtrip_via_cli(
+        self, artifact_dir, csv_path, baselines, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        journal_dir = tmp_path / "journal"
+        mask_out = tmp_path / "mask.json"
+        with monkeypatch.context() as patch:
+            _CallCounter(patch, kill_after=2)
+            with pytest.raises(RuntimeError):
+                main([
+                    "score-csv", str(csv_path),
+                    "--artifact", str(artifact_dir),
+                    "--chunk-rows", "40",
+                    "--journal-dir", str(journal_dir),
+                ])
+        code = main([
+            "score-csv", str(csv_path),
+            "--artifact", str(artifact_dir),
+            "--chunk-rows", "40",
+            "--journal-dir", str(journal_dir),
+            "--resume",
+            "--mask-out", str(mask_out),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from the journal: 2 shard(s)" in out
+        from repro.data.maskio import read_mask
+
+        assert _sha(read_mask(mask_out)) == baselines[40]
+
+    def test_resume_without_journal_dir_fails_fast(
+        self, artifact_dir, csv_path, capsys
+    ):
+        from repro.cli import main
+
+        code = main([
+            "score-csv", str(csv_path),
+            "--artifact", str(artifact_dir),
+            "--resume",
+        ])
+        assert code == 3
+        err = json.loads(capsys.readouterr().err)
+        assert err["code"] == "data_error"
+
+    def test_corrupt_artifact_exits_with_stable_code(
+        self, csv_path, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        fake = tmp_path / "fake-artifact"
+        fake.mkdir()
+        (fake / "manifest.json").write_text("{}")
+        code = main([
+            "score-csv", str(csv_path), "--artifact", str(fake)
+        ])
+        assert code == 3
+        err = json.loads(capsys.readouterr().err)
+        assert err["code"] == "artifact_error"
+        assert "error" in err

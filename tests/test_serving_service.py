@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -29,7 +30,7 @@ def hospital():
 
 
 @pytest.fixture(scope="module")
-def scorer(hospital, tmp_path_factory) -> BatchScorer:
+def artifact_path(hospital, tmp_path_factory):
     config = ZeroEDConfig(
         label_rate=0.1,
         mlp_epochs=8,
@@ -38,8 +39,12 @@ def scorer(hospital, tmp_path_factory) -> BatchScorer:
         seed=0,
     )
     fitted = ZeroED(config).fit(hospital.dirty)
-    path = fitted.save(tmp_path_factory.mktemp("svc") / "artifact")
-    return BatchScorer.from_artifact(path)
+    return fitted.save(tmp_path_factory.mktemp("svc") / "artifact")
+
+
+@pytest.fixture(scope="module")
+def scorer(artifact_path) -> BatchScorer:
+    return BatchScorer.from_artifact(artifact_path)
 
 
 @pytest.fixture(scope="module")
@@ -260,3 +265,214 @@ class TestHardening:
     def test_artifact_endpoint_carries_resilience_block(self, service):
         _status, payload = _get(service.url + "/artifact")
         assert payload["resilience"] == {"degraded_attrs": {}}
+
+
+class _SlowScorer:
+    """Duck-typed scorer wrapper with a controllable scoring delay —
+    lets the tests hold the micro-batch worker busy on demand."""
+
+    def __init__(self, inner: BatchScorer) -> None:
+        self._inner = inner
+        self.delay = 0.0
+
+    def score_rows(self, rows, **kwargs):
+        time.sleep(self.delay)
+        return self._inner.score_rows(rows, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _post_headers(url: str, payload) -> tuple[int, dict, dict]:
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestResilience:
+    """PR 8: load shedding, deadlines, drain, /readyz, hot reload."""
+
+    def test_readyz_distinct_from_healthz(self, service):
+        status, payload = _get(service.url + "/readyz")
+        assert status == 200
+        assert payload == {"ready": True}
+        status, payload = _get(service.url + "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_healthz_carries_resilience_counters(self, service):
+        _status, payload = _get(service.url + "/healthz")
+        for key in ("shed", "deadline_expired", "reloads", "queued_rows"):
+            assert key in payload
+
+    def test_overflowing_request_is_shed_with_retry_after(self, scorer):
+        svc = ScoringService(scorer, port=0, max_queue_rows=2).start()
+        try:
+            attr = scorer.attributes[0]
+            status, payload, headers = _post_headers(
+                svc.url + "/score", {"rows": [{attr: "v"}] * 3}
+            )
+            assert status == 503
+            assert payload["code"] == "overloaded"
+            assert int(headers["Retry-After"]) >= 1
+            _status, health = _get(svc.url + "/healthz")
+            assert health["shed"] == 1
+            # Admitted requests are untouched by the shed one.
+            status, payload = _post(
+                svc.url + "/score", {"rows": [{attr: "v"}]}
+            )
+            assert status == 200 and len(payload["flags"]) == 1
+        finally:
+            svc.stop()
+
+    def test_expired_deadline_gets_504(self, scorer):
+        slow = _SlowScorer(scorer)
+        svc = ScoringService(slow, port=0, deadline_s=0.15).start()
+        try:
+            attr = scorer.attributes[0]
+            # Hold the single batch worker busy so the next request
+            # waits past its deadline in the queue.
+            slow.delay = 1.0
+            blocker = threading.Thread(
+                target=_post, args=(svc.url + "/score", {"rows": [{attr: "a"}]})
+            )
+            blocker.start()
+            time.sleep(0.1)  # let the blocker enter the worker
+            status, payload = _post(
+                svc.url + "/score", {"rows": [{attr: "b"}]}
+            )
+            blocker.join(timeout=30)
+            assert status == 504
+            assert payload["code"] == "deadline_exceeded"
+            _status, health = _get(svc.url + "/healthz")
+            assert health["deadline_expired"] >= 1
+        finally:
+            slow.delay = 0.0
+            svc.stop()
+
+    def test_payload_deadline_tightens_the_default(self, scorer):
+        svc = ScoringService(scorer, port=0).start()
+        try:
+            status, payload = _post(
+                svc.url + "/score", {"rows": [], "deadline_s": -1}
+            )
+            assert status == 400 and payload["code"] == "bad_request"
+            status, payload = _post(
+                svc.url + "/score", {"rows": [], "deadline_s": "soon"}
+            )
+            assert status == 400 and payload["code"] == "bad_request"
+            status, _payload = _post(
+                svc.url + "/score", {"rows": [], "deadline_s": 30}
+            )
+            assert status == 200
+        finally:
+            svc.stop()
+
+    def test_drain_rejects_new_work_and_finishes_inflight(self, scorer):
+        slow = _SlowScorer(scorer)
+        svc = ScoringService(slow, port=0).start()
+        attr = scorer.attributes[0]
+        slow.delay = 0.5
+        inflight: dict = {}
+
+        def admitted() -> None:
+            inflight["response"] = _post(
+                svc.url + "/score", {"rows": [{attr: "v"}]}
+            )
+
+        worker = threading.Thread(target=admitted)
+        worker.start()
+        time.sleep(0.1)  # the request is now being scored
+        drainer = threading.Thread(target=svc.drain, args=(10.0,))
+        drainer.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            ready_status = None
+            while time.monotonic() < deadline:
+                if svc.draining:
+                    ready_status, _body = _get(svc.url + "/readyz")
+                    break
+                time.sleep(0.01)
+            assert ready_status == 503
+            status, payload = _post(
+                svc.url + "/score", {"rows": [{attr: "v"}]}
+            )
+            assert status == 503 and payload["code"] == "overloaded"
+            _status, health = _get(svc.url + "/healthz")
+            assert health["status"] == "draining"
+        finally:
+            worker.join(timeout=30)
+            drainer.join(timeout=30)
+        # The in-flight request was answered normally, not dropped.
+        status, payload = inflight["response"]
+        assert status == 200 and len(payload["flags"]) == 1
+
+    def test_reload_swaps_the_artifact(self, artifact_path):
+        svc = ScoringService.from_artifact(artifact_path, port=0).start()
+        try:
+            before = svc.scorer
+            status, payload = _post(svc.url + "/reload", {})
+            assert status == 200
+            assert payload["reloaded"] is True
+            assert payload["artifact"] == str(artifact_path)
+            assert payload["arrays_sha256"]
+            assert svc.scorer is not before  # freshly loaded instance
+            # Scoring still answers, bit-identically, after the swap.
+            attr = svc.scorer.attributes[0]
+            status, scored = _post(
+                svc.url + "/score", {"rows": [{attr: "v"}]}
+            )
+            assert status == 200 and len(scored["flags"]) == 1
+            _status, health = _get(svc.url + "/healthz")
+            assert health["reloads"] == 1
+        finally:
+            svc.stop()
+
+    def test_reload_missing_artifact_is_rejected(self, artifact_path):
+        svc = ScoringService.from_artifact(artifact_path, port=0).start()
+        try:
+            before = svc.scorer
+            status, payload = _post(
+                svc.url + "/reload", {"artifact": "/no/such/artifact"}
+            )
+            assert status == 400
+            assert payload["code"] == "bad_request"
+            assert svc.scorer is before  # old scorer keeps serving
+        finally:
+            svc.stop()
+
+    def test_reload_without_a_path_is_rejected(self, scorer):
+        svc = ScoringService(scorer, port=0).start()  # live, no artifact
+        try:
+            status, payload = _post(svc.url + "/reload", {})
+            assert status == 400 and payload["code"] == "bad_request"
+        finally:
+            svc.stop()
+
+    def test_reload_schema_mismatch_is_rejected(
+        self, artifact_path, monkeypatch
+    ):
+        from types import SimpleNamespace
+
+        svc = ScoringService.from_artifact(artifact_path, port=0)
+        before = svc.scorer
+        monkeypatch.setattr(
+            BatchScorer,
+            "from_artifact",
+            classmethod(
+                lambda cls, path, n_jobs=None: SimpleNamespace(
+                    attributes=["other", "schema"]
+                )
+            ),
+        )
+        from repro.errors import ArtifactError
+
+        with pytest.raises(ArtifactError, match="schema mismatch"):
+            svc.reload_artifact()
+        assert svc.scorer is before
+        svc.stop()
