@@ -11,24 +11,33 @@ Measures, per dataset slice:
   caches — the steady-state serving cost), best of three;
 * ``speedup_vs_detect`` — detect_s / score_s (the ≥10x acceptance
   figure at the 10k Tax slice);
-* service round-trip: single-row latency (median of 15) and a
+* ``artifact_bytes`` vs ``artifact_bytes_v1`` — the PR 9 compressed
+  v2 format against the raw v1 format, and their ratio (the ≥3x
+  acceptance figure at the 10k Tax slice);
+* service round-trip: single-row latency (median of 15, fresh
+  connection per request *and* one keep-alive connection) and a
   256-row batch POST against a live ``ScoringService`` on an
   ephemeral port, with the response checked against the batch
   scorer's flags;
 * load shedding under pressure (PR 8): concurrent clients hammer a
   service whose admission queue is sized *below* the offered load;
   records p50/p99 request latency, the shed rate, and the /healthz
-  shed counter.
+  shed counter;
+* workers sweep (PR 9): the same saturation load against a
+  process-pool service at each worker count — accepted rows/s,
+  p50/p99, shed rate, and mask equality against the single-process
+  flags.
 
 Writes ``BENCH_serving.json``.  ``--smoke`` runs a small Hospital
 slice and **fails** (exit 1) when the warm scoring path regresses
 more than 2x against its recorded baseline (hardware-normalised by
 the shared GEMM calibration), when the loaded artifact's masks
 diverge from the in-memory scorer's, when scoring touches the LLM,
-when the service response disagrees with the batch scorer, or when
-the saturated service returns anything but well-formed 200/503
-responses with exact shed accounting — the CI gate for the serving
-layer.
+when the service response disagrees with the batch scorer, when the
+saturated service returns anything but well-formed 200/503
+responses with exact shed accounting, when a multi-worker service's
+flags differ from the single-process flags, or when the v2 artifact
+fails to undercut v1 on disk — the CI gate for the serving layer.
 
 Usage::
 
@@ -55,6 +64,7 @@ from _common import calibrate_gemm_s
 from repro.config import ZeroEDConfig
 from repro.core.pipeline import ZeroED
 from repro.data.registry import make_dataset
+from repro.serving.artifact import DetectorArtifact
 from repro.serving.scorer import BatchScorer
 from repro.serving.service import ScoringService
 
@@ -103,17 +113,29 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
     out["engines"] = detect_result.details["engines"]
     out["llm_requests_fit"] = fitted.ledger_summary["requests"]
 
-    # --- artifact round-trip -------------------------------------------
-    with TemporaryDirectory() as tmp:
-        t0 = time.perf_counter()
-        path = fitted.save(Path(tmp) / "artifact")
-        out["save_s"] = round(time.perf_counter() - t0, 4)
-        out["artifact_bytes"] = sum(
-            f.stat().st_size for f in path.iterdir()
+    # --- artifact round-trip (v2 default, v1 for the size ratio) -------
+    tmp_ctx = TemporaryDirectory()
+    tmp = tmp_ctx.name
+    t0 = time.perf_counter()
+    path = fitted.save(Path(tmp) / "artifact")
+    out["save_s"] = round(time.perf_counter() - t0, 4)
+    out["artifact_bytes"] = sum(f.stat().st_size for f in path.iterdir())
+    v1_path = Path(tmp) / "artifact-v1"
+    DetectorArtifact.from_fitted(fitted).save(v1_path, version=1)
+    out["artifact_bytes_v1"] = sum(
+        f.stat().st_size for f in v1_path.iterdir()
+    )
+    out["artifact_compression_ratio"] = round(
+        out["artifact_bytes_v1"] / out["artifact_bytes"], 2
+    )
+    if out["artifact_bytes"] >= out["artifact_bytes_v1"]:
+        failures.append(
+            f"v2 artifact ({out['artifact_bytes']} B) is not smaller "
+            f"than v1 ({out['artifact_bytes_v1']} B)"
         )
-        t0 = time.perf_counter()
-        scorer = BatchScorer.from_artifact(path)
-        out["load_s"] = round(time.perf_counter() - t0, 4)
+    t0 = time.perf_counter()
+    scorer = BatchScorer.from_artifact(path)
+    out["load_s"] = round(time.perf_counter() - t0, 4)
 
     # --- warm scoring throughput ---------------------------------------
     requests_before = fitted.llm.ledger.summary()["requests"]
@@ -167,6 +189,29 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
         out["service_single_row_median_s"] = round(
             statistics.median(latencies), 5
         )
+        # Same measurement over ONE persistent HTTP/1.1 connection:
+        # the per-request TCP setup the keep-alive satellite removes.
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=120
+        )
+        try:
+            single_body = json.dumps({"rows": single}).encode()
+            keepalive = []
+            for _ in range(15):
+                t0 = time.perf_counter()
+                conn.request(
+                    "POST", "/score", body=single_body,
+                    headers={"Content-Type": "application/json"},
+                )
+                conn.getresponse().read()
+                keepalive.append(time.perf_counter() - t0)
+            out["service_single_row_keepalive_median_s"] = round(
+                statistics.median(keepalive), 5
+            )
+        finally:
+            conn.close()
     finally:
         service.stop()
 
@@ -174,6 +219,14 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
     load, load_failures = bench_load(scorer, table, smoke=smoke)
     out["service_load"] = load
     failures.extend(load_failures)
+
+    # --- workers sweep (PR 9) ------------------------------------------
+    sweep, sweep_failures = bench_workers(
+        path, scorer, table, smoke=smoke
+    )
+    out["workers_sweep"] = sweep
+    failures.extend(sweep_failures)
+    tmp_ctx.cleanup()
 
     # --- hardware-normalised smoke gate --------------------------------
     if smoke:
@@ -191,25 +244,16 @@ def bench_case(dataset: str, n_rows: int, smoke: bool) -> tuple[dict, list[str]]
     return out, failures
 
 
-def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
-    """Saturate a deliberately under-provisioned service.
+def _saturate(
+    service, table, n_clients: int, requests_per_client: int
+) -> tuple[dict, list[str]]:
+    """Hammer a live service; return stats + contract violations.
 
-    ``max_queue_rows`` is sized well below the offered concurrent
-    load, so a healthy run *must* shed: the interesting numbers are
-    the latency quantiles of the accepted requests and the fraction
-    shed, and the gate is the response contract — every answer is a
-    well-formed 200 or 503, and /healthz accounts for every shed.
+    Shared by the single-process saturation run and the workers sweep
+    so the two are the *same load* — the comparison between worker
+    counts is apples to apples.
     """
-    failures: list[str] = []
-    n_clients = 16 if smoke else 32
-    requests_per_client = 8 if smoke else 16
     rows_per_request = 4
-    service = ScoringService(
-        scorer,
-        port=0,
-        max_queue_rows=rows_per_request * max(2, n_clients // 4),
-        linger_s=0.005,
-    ).start()
     rows = [table.row(i % table.n_rows) for i in range(rows_per_request)]
     body = json.dumps({"rows": rows}).encode()
     lock = threading.Lock()
@@ -250,21 +294,17 @@ def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
                 else:
                     malformed.append(f"unexpected status {status}")
 
-    try:
-        threads = [
-            threading.Thread(target=client) for _ in range(n_clients)
-        ]
-        t0 = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        wall_s = time.perf_counter() - t0
-        health = _get(service.url + "/healthz")
-    finally:
-        service.stop()
+    threads = [threading.Thread(target=client) for _ in range(n_clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    health = _get(service.url + "/healthz")
 
     total = len(statuses)
+    ok = statuses.count(200)
     shed = statuses.count(503)
     quantiles = (
         statistics.quantiles(latencies_ok, n=100)
@@ -276,15 +316,17 @@ def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
         "requests": total,
         "rows_per_request": rows_per_request,
         "wall_s": round(wall_s, 4),
-        "ok": statuses.count(200),
+        "ok": ok,
         "shed": shed,
         "shed_rate": round(shed / total, 4) if total else 0.0,
+        "accepted_rows_per_s": round(ok * rows_per_request / wall_s, 1),
         "p50_latency_s": round(statistics.median(latencies_ok), 5)
         if latencies_ok
         else None,
         "p99_latency_s": round(quantiles[98], 5) if latencies_ok else None,
         "healthz_shed": health["shed"],
     }
+    failures: list[str] = []
     if malformed:
         failures.append(
             f"saturated service broke the response contract: "
@@ -297,6 +339,78 @@ def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
     if not latencies_ok:
         failures.append("saturated service answered no request with 200")
     return out, failures
+
+
+def bench_load(scorer, table, smoke: bool) -> tuple[dict, list[str]]:
+    """Saturate a deliberately under-provisioned service.
+
+    ``max_queue_rows`` is sized well below the offered concurrent
+    load, so a healthy run *must* shed: the interesting numbers are
+    the latency quantiles of the accepted requests and the fraction
+    shed, and the gate is the response contract — every answer is a
+    well-formed 200 or 503, and /healthz accounts for every shed.
+    """
+    n_clients = 16 if smoke else 32
+    requests_per_client = 8 if smoke else 16
+    service = ScoringService(
+        scorer,
+        port=0,
+        max_queue_rows=4 * max(2, n_clients // 4),
+        linger_s=0.005,
+    ).start()
+    try:
+        return _saturate(service, table, n_clients, requests_per_client)
+    finally:
+        service.stop()
+
+
+def bench_workers(
+    artifact_path, scorer, table, smoke: bool
+) -> tuple[dict, list[str]]:
+    """The same saturation load against process-pool services.
+
+    One service per worker count, warmed before the burst so the sweep
+    measures steady-state scoring, not spawn latency.  The flags for a
+    pinned batch must be byte-identical to the in-process scorer's at
+    every count — the PR 9 equality gate.
+    """
+    failures: list[str] = []
+    sweep: dict = {}
+    counts = [1, 2] if smoke else [1, 4]
+    n_clients = 16 if smoke else 32
+    requests_per_client = 8 if smoke else 16
+    # Must fit inside the saturation-sized admission queue (the
+    # services below are deliberately under-provisioned).
+    batch_rows = [table.row(i) for i in range(min(12, table.n_rows))]
+    expected = scorer.score_rows(batch_rows).mask.matrix.tolist()
+    for workers in counts:
+        service = ScoringService.from_artifact(
+            artifact_path,
+            workers=workers,
+            port=0,
+            max_queue_rows=4 * max(2, n_clients // 4),
+            linger_s=0.005,
+        ).start()
+        try:
+            service.warm_workers()
+            payload = _post(service.url + "/score", {"rows": batch_rows})
+            equal = payload["flags"] == expected
+            stats, sat_failures = _saturate(
+                service, table, n_clients, requests_per_client
+            )
+        finally:
+            service.stop()
+        stats["mask_equals_single_process"] = equal
+        if not equal:
+            failures.append(
+                f"workers={workers} flags diverge from the in-process "
+                f"scorer's"
+            )
+        failures.extend(
+            f"workers={workers}: {f}" for f in sat_failures
+        )
+        sweep[str(workers)] = stats
+    return sweep, failures
 
 
 def _post(url: str, payload: dict) -> dict:
@@ -341,7 +455,10 @@ def main() -> int:
             "batch, response checked against the batch scorer), plus a "
             "saturation run against an under-provisioned admission "
             "queue (p50/p99 accepted-request latency, shed rate, "
-            "healthz shed accounting)"
+            "healthz shed accounting); v2 artifact bytes vs a v1 "
+            "re-save of the same fit; workers sweep = the identical "
+            "saturation load against ScoringService(workers=N) with "
+            "warmed pools, flags pinned against the in-process scorer"
         ),
         "cases": {},
     }
@@ -353,15 +470,27 @@ def main() -> int:
         line = (
             f"{dataset}/{n_rows}: detect {entry['detect_s']}s, "
             f"save {entry['save_s']}s, load {entry['load_s']}s, "
+            f"artifact v2 {entry['artifact_bytes']} B "
+            f"({entry['artifact_compression_ratio']}x vs v1), "
             f"warm score {entry['score_s']}s "
             f"({entry['rows_per_s']} rows/s, "
             f"{entry['speedup_vs_detect']}x vs detect), "
-            f"service single-row {entry['service_single_row_median_s']}s, "
+            f"service single-row {entry['service_single_row_median_s']}s "
+            f"(keep-alive "
+            f"{entry['service_single_row_keepalive_median_s']}s), "
             f"saturated p50/p99 "
             f"{entry['service_load']['p50_latency_s']}s/"
             f"{entry['service_load']['p99_latency_s']}s "
             f"shed {entry['service_load']['shed_rate'] * 100:.0f}%"
         )
+        for workers, stats in entry["workers_sweep"].items():
+            line += (
+                f"\n  workers={workers}: "
+                f"{stats['accepted_rows_per_s']} accepted rows/s, "
+                f"shed {stats['shed_rate'] * 100:.0f}%, p50/p99 "
+                f"{stats['p50_latency_s']}s/{stats['p99_latency_s']}s, "
+                f"masks equal: {stats['mask_equals_single_process']}"
+            )
         if "score_units_vs_baseline" in entry:
             line += (
                 f" [{entry['score_units_vs_baseline']}x vs baseline, "

@@ -149,6 +149,38 @@ def main() -> None:
     #    no dropped requests, and SIGTERM triggering a graceful
     #    drain-then-stop (--drain-timeout).
 
+    # 9. Scale-out serving: worker processes + a multi-tenant
+    #    registry.  One process tops out at one core; --workers N
+    #    fans micro-batches to N spawn-started scoring processes that
+    #    each hold the frozen scorer, while the front keeps the PR 8
+    #    admission/shed/deadline contract.  Masks are byte-identical
+    #    to single-process scoring at every worker count:
+    #
+    #        repro serve --artifact art/ --workers 4
+    #
+    #    One service can also host MANY fitted datasets: repeat
+    #    --artifact and requests route by schema fingerprint (or an
+    #    explicit "dataset" field); the first artifact is the pinned
+    #    default tenant:
+    #
+    #        repro serve --artifact tax_art/ --artifact beers_art/ \
+    #              --registry-budget-mb 256 --workers 2
+    #
+    #        curl -s localhost:8537/score -d \
+    #          '{"rows": [...], "dataset": "beers"}'
+    #        curl -s localhost:8537/healthz   # registry residency,
+    #                                         # hit/miss/eviction counts
+    #
+    #    The memory budget makes the registry an LRU: tenants evicted
+    #    under pressure reload transparently on their next request,
+    #    and POST /reload upserts (same schema replaces, new schema
+    #    adds a tenant).  Artifacts are format v2 now — pooled
+    #    deduplicated vocabularies in a compressed npz, several times
+    #    smaller on disk, loading byte-identically (v1 artifacts
+    #    still load; see BENCH_serving.json for the measured ratio
+    #    and the workers throughput sweep).  GET /artifact/arrays
+    #    streams the bulk file in chunks for replica warm-up.
+
 
 if __name__ == "__main__":
     main()

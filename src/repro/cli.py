@@ -232,11 +232,24 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="HTTP scoring service over a fitted artifact",
     )
-    p.add_argument("--artifact", required=True,
-                   help="detector artifact directory to serve")
+    p.add_argument("--artifact", required=True, action="append",
+                   help="detector artifact directory to serve; repeat "
+                        "the flag to host several fitted datasets "
+                        "behind one port (the first is the default "
+                        "tenant; /score routes by fingerprint/dataset)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8537,
                    help="listen port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="scoring worker processes; 0 (default) scores "
+                        "in-process, N fans micro-batches to N "
+                        "processes with byte-identical masks")
+    p.add_argument("--registry-budget-mb", type=float, default=None,
+                   metavar="MB",
+                   help="memory budget for resident artifacts in "
+                        "multi-artifact mode; least-recently-used "
+                        "tenants are evicted and reload on demand "
+                        "(default: unbounded)")
     p.add_argument("--read-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="socket read deadline per request; a stalled "
@@ -453,19 +466,45 @@ def cmd_serve(args) -> int:
         hardening["max_queue_rows"] = args.max_queue_rows
     if args.deadline is not None:
         hardening["deadline_s"] = args.deadline
-    service = ScoringService.from_artifact(
-        args.artifact, n_jobs=args.jobs, host=args.host, port=args.port,
-        **hardening,
-    )
+    if args.workers:
+        hardening["workers"] = args.workers
+    artifacts = args.artifact
+    if len(artifacts) > 1 or args.registry_budget_mb is not None:
+        budget = (
+            int(args.registry_budget_mb * 1024 * 1024)
+            if args.registry_budget_mb is not None
+            else None
+        )
+        service = ScoringService.from_artifacts(
+            artifacts, budget_bytes=budget, n_jobs=args.jobs,
+            host=args.host, port=args.port, **hardening,
+        )
+    else:
+        service = ScoringService.from_artifact(
+            artifacts[0], n_jobs=args.jobs, host=args.host,
+            port=args.port, **hardening,
+        )
+    if args.workers:
+        # Pay the per-worker artifact load before announcing readiness,
+        # not on the first real request.
+        service.warm_workers()
     info = service.scorer.info
     print(f"serving artifact for {info.get('dataset')!r} "
           f"({info.get('train_rows')} training rows) on {service.url}")
+    if service.n_workers:
+        print(f"scoring on {service.n_workers} worker process(es)")
+    if service.registry is not None:
+        resident = service.registry.snapshot()["resident"]
+        names = ", ".join(
+            repr(entry["dataset"]) for entry in resident
+        )
+        print(f"registry: {len(resident)} resident artifact(s): {names}")
     degraded = (info.get("resilience") or {}).get("degraded_attrs") or {}
     if degraded:
         print(f"note: {len(degraded)} attribute(s) were fitted degraded "
               f"(see GET /healthz): {', '.join(sorted(degraded))}")
     print("endpoints: POST /score  POST /reload  GET /healthz  "
-          "GET /readyz  GET /artifact")
+          "GET /readyz  GET /artifact  GET /artifact/arrays")
 
     def _on_sigterm(signum, frame) -> None:
         # drain() ends with stop(), whose server.shutdown() must not

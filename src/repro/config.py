@@ -209,6 +209,15 @@ class ZeroEDConfig:
     per-attribute task is a pure function of (seed, attr) and results
     are collected in attribute order (see repro.parallel)."""
 
+    n_worker_procs: int = 0
+    """Scoring worker *processes* for the serving front (``repro serve
+    --workers``).  0 (default) scores in-process — the single-process
+    PR 8 behaviour; N >= 1 fans micro-batches to N spawn-started
+    worker processes each holding the frozen scorer (see
+    :mod:`repro.serving.workers`).  Masks are byte-identical for every
+    value; only throughput changes.  Orthogonal to ``n_jobs``: workers
+    score with ``n_jobs=1`` internally (one pool level)."""
+
     # --- misc ---
     seed: int = 0
     min_cluster_count: int = 4
@@ -240,6 +249,11 @@ class ZeroEDConfig:
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ConfigError(
                 f"n_jobs must be >= 1 or -1 (all cores), got {self.n_jobs}"
+            )
+        if self.n_worker_procs < 0:
+            raise ConfigError(
+                f"n_worker_procs must be >= 0 (0 = in-process), "
+                f"got {self.n_worker_procs}"
             )
         for name in ("criteria_accuracy_threshold", "data_pass_threshold"):
             value = getattr(self, name)

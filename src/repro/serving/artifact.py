@@ -46,6 +46,36 @@ Design points:
   seed and an index checksum; ``null`` = the fit saw every row,
   absent = pre-PR-7).  New provenance must follow the same pattern:
   optional key, documented null/absent semantics, no version bump.
+
+Format v2 (PR 9) — compressed, deduplicated storage
+---------------------------------------------------
+
+Version 1 stored every array raw in an uncompressed ``arrays.npz``;
+the bulk of a real artifact is *strings* — per-attribute vocabularies
+plus vicinity pair tables that repeat the same values thousands of
+times, each padded to the array's widest entry by NumPy's fixed-width
+unicode dtype.  Version 2 keeps the exact same logical arrays (and
+``restore()`` is untouched) but encodes them before writing:
+
+* **shared string pool** — every unicode array becomes an ``int32``
+  index array into one deduplicated ``__pool__`` of distinct strings
+  (first-appearance order, so the encoding is deterministic);
+* **lossless numeric downcasts** — ``int64`` count arrays shrink to
+  the smallest integer dtype that holds their range; ``float64``
+  arrays (MLP parameters, scaler statistics) are stored as
+  ``float32`` *only* when every element survives the round-trip
+  bitwise, so fast-engine models (trained in float32) always shrink
+  while exact-engine float64 models keep full precision;
+* **compressed container** — the encoded arrays are written with
+  ``np.savez_compressed`` (deflate) instead of ``np.savez``.
+
+Decoding restores the original arrays — values *and* dtypes —
+bit-for-bit, so a v2 round-trip scores byte-identically to v1 and to
+the in-memory scorer.  The ``encoding`` manifest key records which
+keys were pooled/downcast; the SHA-256 integrity scheme is unchanged
+(the checksum covers the on-disk payload).  Readers accept versions
+1 and 2; ``save(..., version=1)`` still writes the v1 layout for
+back-compat tooling and tests.
 """
 
 from __future__ import annotations
@@ -70,9 +100,16 @@ from repro.text.embeddings import SubwordHashEmbedding
 from repro.version import __version__
 
 ARTIFACT_FORMAT = "zeroed-detector-artifact"
-ARTIFACT_VERSION = 1
+ARTIFACT_VERSION = 2
+#: Versions this reader understands.  v1 = raw uncompressed arrays
+#: (PR 5); v2 = pooled strings + lossless downcasts + deflate (PR 9).
+SUPPORTED_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
+
+#: v2 string-pool array name inside ``arrays.npz`` — reserved; never a
+#: logical array key (those are all ``a{i}_...``).
+POOL_KEY = "__pool__"
 
 
 def schema_fingerprint(attributes: list[str]) -> str:
@@ -85,6 +122,107 @@ def _str_array(values: list[str]) -> np.ndarray:
     if not values:
         return np.zeros(0, dtype="<U1")
     return np.asarray(values, dtype=np.str_)
+
+
+#: Signed integer dtypes tried smallest-first for the v2 downcast.
+_INT_DOWNCASTS = (np.int8, np.int16, np.int32)
+
+
+def _encode_v2(
+    arrays: dict[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Encode logical arrays into the v2 on-disk layout.
+
+    Returns ``(encoded_arrays, encoding_meta)``; the meta dict lands in
+    the manifest under ``"encoding"`` and drives :func:`_decode_v2`.
+    Every transformation is lossless: pooled strings decode to the
+    identical unicode arrays, and numeric downcasts are applied only
+    when the round-trip back to the source dtype is bitwise exact.
+    """
+    pool_index: dict[str, int] = {}
+    encoded: dict[str, np.ndarray] = {}
+    pooled: list[str] = []
+    int_cast: dict[str, str] = {}
+    float_cast: dict[str, str] = {}
+    for key, arr in arrays.items():
+        if arr.dtype.kind == "U":
+            indices = np.empty(arr.shape[0], dtype=np.int32)
+            for pos, value in enumerate(arr.tolist()):
+                slot = pool_index.get(value)
+                if slot is None:
+                    slot = pool_index[value] = len(pool_index)
+                indices[pos] = slot
+            encoded[key] = indices
+            pooled.append(key)
+        elif arr.dtype == np.int64 and arr.ndim == 1:
+            target = arr
+            if arr.size:
+                lo, hi = int(arr.min()), int(arr.max())
+                for small in _INT_DOWNCASTS:
+                    info = np.iinfo(small)
+                    if info.min <= lo and hi <= info.max:
+                        target = arr.astype(small)
+                        break
+            else:
+                target = arr.astype(np.int8)
+            encoded[key] = target
+            if target.dtype != np.int64:
+                int_cast[key] = "int64"
+        elif arr.dtype == np.float64:
+            shrunk = arr.astype(np.float32)
+            if np.array_equal(
+                shrunk.astype(np.float64), arr
+            ) and np.array_equal(
+                np.signbit(shrunk.astype(np.float64)), np.signbit(arr)
+            ):
+                encoded[key] = shrunk
+                float_cast[key] = "float64"
+            else:
+                encoded[key] = arr
+        else:
+            encoded[key] = arr
+    encoded[POOL_KEY] = _str_array(list(pool_index))
+    meta = {
+        "scheme": "pool+downcast",
+        "pooled_strings": pooled,
+        "int_cast": int_cast,
+        "float_cast": float_cast,
+    }
+    return encoded, meta
+
+
+def _decode_v2(
+    encoded: dict[str, np.ndarray], meta: dict
+) -> dict[str, np.ndarray]:
+    """Invert :func:`_encode_v2` back to the logical v1-shaped arrays."""
+    if not isinstance(meta, dict) or meta.get("scheme") != "pool+downcast":
+        raise ArtifactError(
+            f"v2 artifact has an unknown encoding scheme: "
+            f"{meta.get('scheme') if isinstance(meta, dict) else meta!r}"
+        )
+    if POOL_KEY not in encoded:
+        raise ArtifactError(f"v2 artifact is missing its {POOL_KEY} array")
+    pool = encoded[POOL_KEY].tolist()
+    pooled = set(meta.get("pooled_strings") or [])
+    int_cast = meta.get("int_cast") or {}
+    float_cast = meta.get("float_cast") or {}
+    arrays: dict[str, np.ndarray] = {}
+    for key, arr in encoded.items():
+        if key == POOL_KEY:
+            continue
+        if key in pooled:
+            if arr.size and (arr.min() < 0 or arr.max() >= len(pool)):
+                raise ArtifactError(
+                    f"{key}: string-pool index out of range"
+                )
+            arrays[key] = _str_array([pool[i] for i in arr.tolist()])
+        elif key in int_cast:
+            arrays[key] = arr.astype(int_cast[key])
+        elif key in float_cast:
+            arrays[key] = arr.astype(float_cast[key])
+        else:
+            arrays[key] = arr
+    return arrays
 
 
 @dataclass
@@ -228,15 +366,35 @@ class DetectorArtifact:
     # ------------------------------------------------------------------
     # Disk round-trip
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Write ``manifest.json`` + ``arrays.npz`` under ``path``."""
+    def save(self, path: str | Path, *, version: int | None = None) -> Path:
+        """Write ``manifest.json`` + ``arrays.npz`` under ``path``.
+
+        ``version`` picks the on-disk layout (default: the current
+        :data:`ARTIFACT_VERSION`).  v2 pools strings, downcasts
+        losslessly and compresses; v1 writes the historical raw
+        uncompressed bundle — both decode to the same logical arrays,
+        so the choice never changes scores, only bytes on disk.
+        """
+        version = ARTIFACT_VERSION if version is None else int(version)
+        if version not in SUPPORTED_VERSIONS:
+            raise ArtifactError(
+                f"cannot write artifact version {version}; supported: "
+                f"{SUPPORTED_VERSIONS}"
+            )
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
+        manifest = dict(self.manifest)
+        manifest["version"] = version
         buffer = io.BytesIO()
-        np.savez(buffer, **self.arrays)
+        if version == 1:
+            manifest.pop("encoding", None)
+            np.savez(buffer, **self.arrays)
+        else:
+            encoded, encoding_meta = _encode_v2(self.arrays)
+            manifest["encoding"] = encoding_meta
+            np.savez_compressed(buffer, **encoded)
         payload = buffer.getvalue()
         (directory / ARRAYS_NAME).write_bytes(payload)
-        manifest = dict(self.manifest)
         manifest["arrays_sha256"] = hashlib.sha256(payload).hexdigest()
         (directory / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n"
@@ -275,10 +433,11 @@ class DetectorArtifact:
                 f"{directory} is not a {ARTIFACT_FORMAT} "
                 f"(format={manifest.get('format')!r})"
             )
-        if manifest.get("version") != ARTIFACT_VERSION:
+        version = manifest.get("version")
+        if version not in SUPPORTED_VERSIONS:
             raise ArtifactError(
-                f"artifact version {manifest.get('version')!r} is not "
-                f"supported by this reader (expected {ARTIFACT_VERSION})"
+                f"artifact version {version!r} is not supported by this "
+                f"reader (supported: {SUPPORTED_VERSIONS})"
             )
         attributes = manifest.get("attributes")
         if not isinstance(attributes, list) or not attributes:
@@ -306,6 +465,8 @@ class DetectorArtifact:
             raise ArtifactError(
                 f"{arrays_path} is not a valid array bundle: {exc}"
             ) from exc
+        if version >= 2:
+            arrays = _decode_v2(arrays, manifest.get("encoding"))
         return cls(manifest, arrays)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,245 @@
+"""Multi-tenant artifact cache for the scoring service (PR 9).
+
+One fitted detector per service process stops scaling the moment a
+deployment serves many datasets: either every dataset gets its own
+process (memory × tenants) or operators juggle reloads.
+:class:`ArtifactRegistry` lets one service host many fitted datasets:
+
+* **keyed by schema fingerprint** — the artifact manifest's
+  ``schema_fingerprint`` (SHA-256 of the attribute list) is the tenant
+  key; upserting an artifact with a fingerprint already resident
+  *replaces* it (that is exactly what a hot reload is), a new
+  fingerprint *adds* a tenant.  ``dataset`` names resolve to
+  fingerprints as a convenience, so clients can route by either.
+* **LRU within a memory budget** — each entry is charged its decoded
+  array bytes (the dominant resident cost of a scorer; the v2
+  compressed file on disk would *under*-charge).  Inserting past
+  ``budget_bytes`` evicts least-recently-*scored* entries — never the
+  pinned default, never the entry being inserted — and counts the
+  eviction.  Evicted tenants are remembered by path: a later request
+  for that fingerprint reloads transparently (a *miss*), so eviction
+  degrades latency, not availability.
+* **thread-safe, atomic swaps** — routing hands out immutable entry
+  snapshots; an in-flight batch keeps scoring on the scorer it was
+  routed to even if the tenant is replaced or evicted mid-batch (plain
+  reference semantics, the same contract as the single-tenant hot
+  reload).
+
+``snapshot()`` feeds ``GET /healthz``: resident tenants (fingerprint,
+dataset, bytes, path), the budget, and the hit/miss/eviction/load
+counters an operator needs to size the budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ArtifactError
+from repro.serving.scorer import BatchScorer
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One resident tenant: an immutable routing snapshot."""
+
+    fingerprint: str
+    dataset: str | None
+    path: Path
+    scorer: BatchScorer
+    arrays_sha256: str | None
+    resident_bytes: int
+    loaded_at: float = field(default_factory=time.time)
+
+
+def _load_entry(path: str | Path, n_jobs: int | None) -> RegistryEntry:
+    """Load + integrity-check an artifact into a registry entry."""
+    from repro.serving.artifact import DetectorArtifact
+
+    artifact = DetectorArtifact.load(path)
+    # Decoded array bytes: what the scorer actually keeps resident
+    # (the on-disk v2 file is deflate-compressed and would undercount).
+    resident = sum(arr.nbytes for arr in artifact.arrays.values())
+    state = artifact.restore()
+    scorer = BatchScorer(
+        config=state.config,
+        detector=state.detector,
+        featurizers=state.featurizers,
+        correlated=state.correlated,
+        attributes=state.attributes,
+        llm_model=state.llm_model,
+        train_rows=state.train_rows,
+        info=state.info,
+        n_jobs=n_jobs,
+    )
+    manifest = artifact.manifest
+    return RegistryEntry(
+        fingerprint=manifest["schema_fingerprint"],
+        dataset=manifest.get("dataset"),
+        path=Path(path),
+        scorer=scorer,
+        arrays_sha256=manifest.get("arrays_sha256"),
+        resident_bytes=resident,
+    )
+
+
+class ArtifactRegistry:
+    """LRU cache of fitted detectors, one service → many datasets."""
+
+    def __init__(
+        self,
+        budget_bytes: int | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 1:
+            raise ArtifactError(
+                f"registry budget must be >= 1 byte or None, "
+                f"got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._n_jobs = n_jobs
+        self._lock = threading.Lock()
+        #: fingerprint -> entry, most recently *used* last.
+        self._resident: dict[str, RegistryEntry] = {}
+        self._last_used: dict[str, float] = {}
+        #: fingerprint -> artifact path, survives eviction so a miss
+        #: can reload transparently.
+        self._known_paths: dict[str, Path] = {}
+        self._pinned: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.loads = 0
+
+    # ------------------------------------------------------------------
+    def upsert(self, path: str | Path) -> RegistryEntry:
+        """Load an artifact and make it resident (add or replace).
+
+        Replacing happens when the loaded artifact's schema
+        fingerprint is already resident — the multi-tenant form of the
+        single-tenant hot reload.  Returns the new entry.
+        """
+        entry = _load_entry(path, self._n_jobs)
+        with self._lock:
+            self.loads += 1
+            self._resident[entry.fingerprint] = entry
+            self._known_paths[entry.fingerprint] = entry.path
+            self._last_used[entry.fingerprint] = time.monotonic()
+            self._evict_over_budget(keep=entry.fingerprint)
+        return entry
+
+    def pin(self, fingerprint: str) -> None:
+        """Exempt a tenant (the service's default) from eviction."""
+        with self._lock:
+            self._pinned.add(fingerprint)
+
+    def get(self, fingerprint: str) -> RegistryEntry:
+        """Resolve a tenant; reloads from its known path on a miss.
+
+        Raises :class:`ArtifactError` for a fingerprint the registry
+        has never seen.
+        """
+        with self._lock:
+            entry = self._resident.get(fingerprint)
+            if entry is not None:
+                self.hits += 1
+                self._last_used[fingerprint] = time.monotonic()
+                return entry
+            known = self._known_paths.get(fingerprint)
+        if known is None:
+            raise ArtifactError(
+                f"no artifact registered for schema fingerprint "
+                f"{fingerprint!r}"
+            )
+        # Evicted tenant: reload outside the lock (disk IO), then race
+        # benignly — last loader wins, both entries score identically.
+        entry = _load_entry(known, self._n_jobs)
+        if entry.fingerprint != fingerprint:
+            raise ArtifactError(
+                f"artifact at {known} no longer carries fingerprint "
+                f"{fingerprint!r} (file replaced?)"
+            )
+        with self._lock:
+            self.misses += 1
+            self.loads += 1
+            self._resident[fingerprint] = entry
+            self._last_used[fingerprint] = time.monotonic()
+            self._evict_over_budget(keep=fingerprint)
+        return entry
+
+    def by_dataset(self, dataset: str) -> RegistryEntry:
+        """Resolve a tenant by its training dataset name."""
+        with self._lock:
+            matches = [
+                fp
+                for fp, entry in self._resident.items()
+                if entry.dataset == dataset
+            ]
+        if not matches:
+            raise ArtifactError(
+                f"no resident artifact was fitted on dataset {dataset!r}"
+            )
+        if len(matches) > 1:
+            raise ArtifactError(
+                f"dataset {dataset!r} is ambiguous across "
+                f"{len(matches)} resident artifacts; route by "
+                f"fingerprint instead"
+            )
+        return self.get(matches[0])
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._resident)
+
+    # ------------------------------------------------------------------
+    def _evict_over_budget(self, keep: str) -> None:
+        """Drop LRU entries until within budget (caller holds lock)."""
+        if self.budget_bytes is None:
+            return
+        def total() -> int:
+            return sum(e.resident_bytes for e in self._resident.values())
+
+        while total() > self.budget_bytes and len(self._resident) > 1:
+            victims = sorted(
+                (
+                    fp
+                    for fp in self._resident
+                    if fp != keep and fp not in self._pinned
+                ),
+                key=lambda fp: self._last_used.get(fp, 0.0),
+            )
+            if not victims:
+                return
+            victim = victims[0]
+            del self._resident[victim]
+            self._last_used.pop(victim, None)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The /healthz view: residency + counters."""
+        with self._lock:
+            resident = [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "dataset": entry.dataset,
+                    "path": str(entry.path),
+                    "resident_bytes": entry.resident_bytes,
+                    "pinned": entry.fingerprint in self._pinned,
+                }
+                for entry in self._resident.values()
+            ]
+            return {
+                "resident": resident,
+                "resident_bytes": sum(
+                    e["resident_bytes"] for e in resident
+                ),
+                "budget_bytes": self.budget_bytes,
+                "known": len(self._known_paths),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "loads": self.loads,
+            }

@@ -42,6 +42,28 @@ Resilience (PR 8):
   required) and swaps the scorer atomically between batches: in-flight
   requests finish on the scorer they were admitted under.
 
+Scale-out (PR 9):
+
+* **multi-worker scoring** — ``workers=N`` (CLI ``serve --workers``)
+  fans micro-batches to N :class:`~repro.serving.workers.WorkerPool`
+  processes, each holding the frozen scorer; the front process keeps
+  only admission/shed/deadline bookkeeping.  Masks are byte-identical
+  to single-process scoring for every worker count (pinned in
+  ``tests/test_serving_service.py``).  The batcher runs one scoring
+  *lane* thread per worker so the pool actually scores N batches
+  concurrently.
+* **multi-tenant registry** — :meth:`ScoringService.from_artifacts`
+  hosts many fitted datasets behind one port via an
+  :class:`~repro.serving.registry.ArtifactRegistry` (LRU, memory
+  budget).  ``POST /score`` routes by schema ``fingerprint`` or
+  ``dataset`` payload field (default: the first artifact); batches
+  coalesce only same-tenant requests; ``POST /reload`` becomes a
+  registry upsert; ``GET /healthz`` reports residency and eviction
+  counters.
+* **artifact download** — ``GET /artifact/arrays`` streams the loaded
+  artifact's ``arrays.npz`` in 64 KiB chunks (the ~46 MB file never
+  materialises in handler memory); ``GET /artifact`` stays the small
+  manifest summary.
 
 Requests are **micro-batched**: handler threads enqueue their rows and
 block; a single scoring worker drains whatever accumulated within a
@@ -67,6 +89,7 @@ from pathlib import Path
 
 from repro.errors import ArtifactError, ReproError
 from repro.serving.scorer import BatchScorer
+from repro.serving.workers import WorkerPool, WorkerPoolBroken
 
 #: How long the batching worker lingers after the first queued request
 #: to let concurrent requests coalesce, and the row cap per batch.
@@ -98,6 +121,10 @@ class _Pending:
 
     rows: list[dict]
     deadline: float | None = None
+    #: Routing key (schema fingerprint in registry mode, None for
+    #: single-tenant).  A batch only coalesces same-key entries —
+    #: different tenants must never share a featurization pass.
+    key: str | None = None
     event: threading.Event = field(default_factory=threading.Event)
     flags: list[list[bool]] | None = None
     batched_with: int = 0
@@ -105,7 +132,7 @@ class _Pending:
 
 
 class _MicroBatcher:
-    """Queue + worker that scores concurrent requests as one table.
+    """Queue + lanes that score concurrent requests as one table.
 
     The queue is *bounded* (``max_queue_rows``): a submit that would
     overflow it raises :class:`ServiceOverloaded` without touching the
@@ -113,16 +140,26 @@ class _MicroBatcher:
     entry may carry a monotonic deadline; the worker discards expired
     entries instead of scoring them, and the submitting handler raises
     :class:`DeadlineExceeded`.
+
+    Scoring is delegated to ``score_fn(key, rows) -> bool matrix`` so
+    the service decides the backend per batch — in-process scorer,
+    worker pool, or registry lookup — and ``n_lanes`` scoring threads
+    run the collect/score loop concurrently (one lane per worker
+    process keeps a pool saturated; single-process serving keeps the
+    original one-lane behaviour).  Entries coalesce into a batch only
+    when they share a routing ``key``; a head-of-queue key switch ends
+    the batch early rather than reordering requests.
     """
 
     def __init__(
         self,
-        scorer: BatchScorer,
+        score_fn,
         linger_s: float = DEFAULT_LINGER_S,
         max_batch_rows: int = DEFAULT_MAX_BATCH_ROWS,
         max_queue_rows: int = DEFAULT_MAX_QUEUE_ROWS,
+        n_lanes: int = 1,
     ) -> None:
-        self._scorer = scorer
+        self._score_fn = score_fn
         self._linger_s = linger_s
         self._max_batch_rows = max_batch_rows
         self._max_queue_rows = max_queue_rows
@@ -135,26 +172,24 @@ class _MicroBatcher:
         self.n_rows = 0
         self.n_shed = 0
         self.n_expired = 0
-        self._worker = threading.Thread(
-            target=self._loop, name="score-batcher", daemon=True
-        )
-        self._worker.start()
-
-    def set_scorer(self, scorer: BatchScorer) -> None:
-        """Atomically swap the scorer used for *future* batches.
-
-        The worker reads the reference once per batch, so an in-flight
-        batch finishes on the scorer it started with.
-        """
-        with self._cond:
-            self._scorer = scorer
+        self._lanes = [
+            threading.Thread(
+                target=self._loop, name=f"score-lane-{i}", daemon=True
+            )
+            for i in range(max(1, n_lanes))
+        ]
+        for lane in self._lanes:
+            lane.start()
 
     @property
     def queued_rows(self) -> int:
         return self._queued_rows
 
     def submit(
-        self, rows: list[dict], deadline_s: float | None = None
+        self,
+        rows: list[dict],
+        deadline_s: float | None = None,
+        key: str | None = None,
     ) -> _Pending:
         """Enqueue ``rows`` and block until their flags are ready."""
         pending = _Pending(
@@ -164,6 +199,7 @@ class _MicroBatcher:
                 if deadline_s is not None
                 else None
             ),
+            key=key,
         )
         with self._cond:
             if self._stopped:
@@ -214,7 +250,8 @@ class _MicroBatcher:
         with self._cond:
             self._stopped = True
             self._cond.notify_all()
-        self._worker.join(timeout=5)
+        for lane in self._lanes:
+            lane.join(timeout=5)
 
     # ------------------------------------------------------------------
     def _pop_live(self) -> _Pending | None:
@@ -240,6 +277,35 @@ class _MicroBatcher:
             return pending
         return None
 
+    def _pop_live_matching(self, key: str | None) -> _Pending | None:
+        """Pop the head entry if it is live *and* shares ``key``.
+
+        Expired heads are failed and skipped; a live head with a
+        different routing key stays queued (FIFO order is preserved —
+        the key switch just ends the current batch) and None is
+        returned.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if (
+                head.deadline is not None
+                and time.monotonic() > head.deadline
+            ):
+                self._queue.popleft()
+                self._queued_rows -= len(head.rows)
+                self.n_expired += 1
+                head.error = DeadlineExceeded(
+                    "request deadline expired while queued"
+                )
+                head.event.set()
+                continue
+            if head.key != key:
+                return None
+            self._queue.popleft()
+            self._queued_rows -= len(head.rows)
+            return head
+        return None
+
     def _collect_batch(self) -> list[_Pending]:
         """Block for the first request, linger briefly for company."""
         with self._cond:
@@ -257,7 +323,7 @@ class _MicroBatcher:
             deadline = time.monotonic() + self._linger_s
             while total < self._max_batch_rows:
                 if self._queue:
-                    nxt = self._pop_live()
+                    nxt = self._pop_live_matching(first.key)
                     if nxt is None:
                         break
                     batch.append(nxt)
@@ -277,13 +343,10 @@ class _MicroBatcher:
             batch = self._collect_batch()
             if not batch:
                 return
-            with self._cond:
-                scorer = self._scorer
             rows = [row for pending in batch for row in pending.rows]
             try:
                 if rows:
-                    result = scorer.score_rows(rows, name="request")
-                    flags = result.mask.matrix
+                    flags = self._score_fn(batch[0].key, rows)
                 else:
                     flags = None
                 offset = 0
@@ -308,7 +371,7 @@ class _MicroBatcher:
 
 
 class ScoringService:
-    """HTTP serving front-end for one loaded detector artifact."""
+    """HTTP serving front-end over one or many detector artifacts."""
 
     def __init__(
         self,
@@ -324,6 +387,9 @@ class ScoringService:
         retry_after_s: int = DEFAULT_RETRY_AFTER_S,
         breaker_state=None,
         artifact_path: str | Path | None = None,
+        workers: int = 0,
+        registry=None,
+        default_fingerprint: str | None = None,
     ) -> None:
         self.scorer = scorer
         self.started_at = time.time()
@@ -345,13 +411,37 @@ class ScoringService:
         #: pipeline that still holds its ResilientLLM (a service over a
         #: reloaded artifact has no breaker; /healthz reports null).
         self.breaker_state = breaker_state
+        #: Multi-tenant mode: an ArtifactRegistry resolves routing keys
+        #: (schema fingerprints) to scorers.  None = single-tenant with
+        #: the PR 8 reload semantics.
+        self._registry = registry
+        self.default_fingerprint = default_fingerprint
+        #: Worker-pool mode: batches score in N spawn-started processes
+        #: that load the artifact themselves, so the front needs a path
+        #: (in-memory-only scorers cannot cross a process boundary).
+        if workers:
+            if registry is None and self.artifact_path is None:
+                raise ArtifactError(
+                    "workers > 0 needs an artifact path (or a registry)"
+                    " — worker processes load the scorer from disk"
+                )
+            self._pool = WorkerPool(workers)
+        else:
+            self._pool = None
+        #: (path, arrays_sha256) of the single-tenant artifact, swapped
+        #: as one tuple so worker batches never see a reload half-done.
+        self._artifact_ref = (
+            self.artifact_path,
+            scorer.info.get("arrays_sha256"),
+        )
         self._stats_lock = threading.Lock()
         self._draining = False
         self._batcher = _MicroBatcher(
-            scorer,
+            self._score_batch_rows,
             linger_s=linger_s,
             max_batch_rows=max_batch_rows,
             max_queue_rows=max_queue_rows,
+            n_lanes=workers if workers else 1,
         )
         self._server = _Server((host, port), _make_handler(self))
         self._thread: threading.Thread | None = None
@@ -362,7 +452,88 @@ class ScoringService:
         cls, path: str | Path, n_jobs: int | None = None, **kwargs
     ) -> "ScoringService":
         kwargs.setdefault("artifact_path", path)
-        return cls(BatchScorer.from_artifact(path, n_jobs=n_jobs), **kwargs)
+        scorer = BatchScorer.from_artifact(path, n_jobs=n_jobs)
+        # config.n_worker_procs is the persisted default; an explicit
+        # workers= kwarg (CLI --workers) wins.
+        kwargs.setdefault(
+            "workers", getattr(scorer.config, "n_worker_procs", 0)
+        )
+        return cls(scorer, **kwargs)
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        paths: list,
+        budget_bytes: int | None = None,
+        n_jobs: int | None = None,
+        **kwargs,
+    ) -> "ScoringService":
+        """Host several fitted datasets behind one port (registry mode).
+
+        The first path becomes the *default* tenant: it answers
+        ``/score`` requests that name no ``fingerprint``/``dataset``,
+        backs ``GET /artifact``, and is pinned against LRU eviction.
+        ``budget_bytes`` bounds resident decoded-array memory; tenants
+        evicted under pressure reload transparently on their next
+        request.
+        """
+        from repro.serving.registry import ArtifactRegistry
+
+        if not paths:
+            raise ArtifactError("from_artifacts needs at least one path")
+        registry = ArtifactRegistry(budget_bytes=budget_bytes, n_jobs=n_jobs)
+        entries = [registry.upsert(p) for p in paths]
+        default = entries[0]
+        registry.pin(default.fingerprint)
+        kwargs.setdefault("artifact_path", default.path)
+        return cls(
+            default.scorer,
+            registry=registry,
+            default_fingerprint=default.fingerprint,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def _score_batch_rows(self, key: str | None, rows: list[dict]):
+        """The batcher's ``score_fn``: route one batch to its backend.
+
+        Resolution happens at batch time (not admission time), so a
+        reload or registry upsert takes effect at the next batch
+        boundary — the same atomic-swap contract the single-process
+        service always had.
+        """
+        if self._registry is not None and key is not None:
+            entry = self._registry.get(key)
+            if self._pool is not None:
+                return self._pool.score(
+                    entry.path, entry.arrays_sha256, rows
+                )
+            return entry.scorer.score_rows(rows, name="request").mask.matrix
+        if self._pool is not None:
+            path, sha = self._artifact_ref
+            return self._pool.score(path, sha, rows)
+        return self.scorer.score_rows(rows, name="request").mask.matrix
+
+    @property
+    def registry(self):
+        return self._registry
+
+    @property
+    def n_workers(self) -> int:
+        return self._pool.n_workers if self._pool is not None else 0
+
+    def warm_workers(self) -> None:
+        """Pre-load the default artifact into every worker process.
+
+        Optional: workers self-heal lazily on their first batch; the
+        CLI calls this before announcing readiness so the first real
+        request doesn't pay the artifact load.
+        """
+        if self._pool is None:
+            return
+        path, sha = self._artifact_ref
+        if path is not None:
+            self._pool.warm(path, sha)
 
     # ------------------------------------------------------------------
     @property
@@ -403,6 +574,8 @@ class ScoringService:
             self._serving = False
         self._server.server_close()
         self._batcher.stop()
+        if self._pool is not None:
+            self._pool.close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -467,28 +640,56 @@ class ScoringService:
             {str(k): "" if v is None else str(v) for k, v in row.items()}
             for row in rows
         ]
+        # Multi-tenant routing: an explicit fingerprint wins, a dataset
+        # name resolves to one, and neither falls back to the pinned
+        # default tenant.  Single-tenant services ignore both fields'
+        # absence and route everything to their one scorer.
+        key = None
+        scorer = self.scorer
+        if self._registry is not None:
+            if payload.get("fingerprint") is not None:
+                entry = self._registry.get(str(payload["fingerprint"]))
+            elif payload.get("dataset") is not None:
+                entry = self._registry.by_dataset(str(payload["dataset"]))
+            else:
+                entry = self._registry.get(self.default_fingerprint)
+            key = entry.fingerprint
+            scorer = entry.scorer
         # Validate before enqueueing: a bad request must fail alone,
         # not poison the micro-batch it would have joined.
-        scorer = self.scorer
         scorer.validate_rows(normalised)
-        pending = self._batcher.submit(normalised, deadline_s=deadline_s)
-        return {
+        pending = self._batcher.submit(
+            normalised, deadline_s=deadline_s, key=key
+        )
+        response = {
             "attributes": scorer.attributes,
             "flags": pending.flags,
             "n_rows": len(normalised),
             "batched_with": pending.batched_with,
         }
+        if key is not None:
+            response["fingerprint"] = key
+        return response
 
     def reload_artifact(self, path: str | Path | None = None) -> dict:
         """Swap in a freshly loaded artifact without dropping requests.
 
         ``path`` defaults to the artifact the service was started from.
-        The new artifact must carry the same attribute schema — a
-        service cannot change its wire contract mid-flight — anything
-        else raises :class:`ArtifactError` and the old scorer keeps
-        serving.
-        The swap is atomic at a batch boundary: requests admitted
-        before it finish on the old scorer.
+
+        Single-tenant: the new artifact must carry the same attribute
+        schema — a service cannot change its wire contract mid-flight —
+        anything else raises :class:`ArtifactError` and the old scorer
+        keeps serving.
+
+        Registry mode: reload is an *upsert* — a same-fingerprint
+        artifact replaces that tenant, a new fingerprint adds one (the
+        wire contract is per-tenant, so a new schema is a new tenant,
+        not a mismatch).
+
+        Either way the swap is atomic at a batch boundary: an in-flight
+        batch finishes on the scorer it resolved when scoring started,
+        and worker processes detect the changed ``arrays_sha256`` and
+        reload before their next batch.
         """
         target = Path(path) if path is not None else self.artifact_path
         if target is None:
@@ -496,6 +697,24 @@ class ScoringService:
                 "no artifact path: the service was not started from an "
                 "artifact and the reload request named none"
             )
+        if self._registry is not None:
+            entry = self._registry.upsert(target)
+            if entry.fingerprint == self.default_fingerprint:
+                self.scorer = entry.scorer
+                self.artifact_path = entry.path
+                self._artifact_ref = (entry.path, entry.arrays_sha256)
+            with self._stats_lock:
+                self.n_reloads += 1
+            return {
+                "reloaded": True,
+                "artifact": str(target),
+                "fingerprint": entry.fingerprint,
+                "resident": len(self._registry.fingerprints()),
+                "llm_model": entry.scorer.llm_model,
+                "train_rows": entry.scorer.train_rows,
+                "arrays_sha256": entry.arrays_sha256,
+                "reloads": self.n_reloads,
+            }
         fresh = BatchScorer.from_artifact(
             target, n_jobs=self.scorer.config.n_jobs
         )
@@ -504,9 +723,9 @@ class ScoringService:
                 f"reload schema mismatch: serving {self.scorer.attributes!r}"
                 f", {target} carries {fresh.attributes!r}"
             )
-        self._batcher.set_scorer(fresh)
         self.scorer = fresh
         self.artifact_path = target
+        self._artifact_ref = (target, fresh.info.get("arrays_sha256"))
         with self._stats_lock:
             self.n_reloads += 1
         return {
@@ -538,6 +757,12 @@ class ScoringService:
             "reloads": self.n_reloads,
             "degraded_attrs": resilience.get("degraded_attrs") or {},
             "circuit_breaker": breaker,
+            "workers": self.n_workers,
+            "registry": (
+                self._registry.snapshot()
+                if self._registry is not None
+                else None
+            ),
         }
 
     def readiness(self) -> tuple[int, dict]:
@@ -567,6 +792,11 @@ class _PayloadTooLarge(Exception):
 def _make_handler(service: ScoringService):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # TCP_NODELAY: the response is written as several small sends
+        # (status line, headers, body); with Nagle on, the last one
+        # waits ~40 ms for the client's delayed ACK on a keep-alive
+        # connection — turning the reuse "win" into a 6x latency loss.
+        disable_nagle_algorithm = True
         # StreamRequestHandler deadline on every socket read: a client
         # that stalls mid-body gets disconnected instead of pinning a
         # handler thread until process death.
@@ -615,6 +845,41 @@ def _make_handler(service: ScoringService):
             self.end_headers()
             self.wfile.write(body)
 
+        def _stream_artifact_arrays(self) -> None:
+            # Stream the bulk arrays file in bounded chunks: the ~46 MB
+            # (v1) payload must never materialise in handler memory,
+            # and Content-Length keeps the keep-alive connection clean.
+            if service.artifact_path is None:
+                self._send_error(
+                    404,
+                    "not_found",
+                    "service was not started from an artifact directory",
+                )
+                return
+            from repro.serving.artifact import ARRAYS_NAME
+
+            arrays_path = service.artifact_path / ARRAYS_NAME
+            if not arrays_path.is_file():
+                self._send_error(
+                    404, "not_found", f"{arrays_path} does not exist"
+                )
+                return
+            size = arrays_path.stat().st_size
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(size))
+            self.send_header(
+                "Content-Disposition",
+                f'attachment; filename="{ARRAYS_NAME}"',
+            )
+            self.end_headers()
+            with open(arrays_path, "rb") as fh:
+                while True:
+                    chunk = fh.read(64 * 1024)
+                    if not chunk:
+                        break
+                    self.wfile.write(chunk)
+
         def do_GET(self) -> None:
             if self.path == "/healthz":
                 self._send(200, service.health())
@@ -623,6 +888,8 @@ def _make_handler(service: ScoringService):
                 self._send(status, body)
             elif self.path == "/artifact":
                 self._send(200, service.scorer.info)
+            elif self.path == "/artifact/arrays":
+                self._stream_artifact_arrays()
             else:
                 self._send_error(
                     404, "not_found", f"unknown path {self.path!r}"
@@ -664,6 +931,9 @@ def _make_handler(service: ScoringService):
                 self._send_error(504, "deadline_exceeded", str(exc))
             except TimeoutError as exc:
                 self._send_error(504, "deadline_exceeded", str(exc))
+            except WorkerPoolBroken as exc:
+                # A dead worker is a server fault, not a bad request.
+                self._send_error(500, "internal", str(exc))
             except ReproError as exc:
                 self._send_error(400, "bad_request", str(exc))
             except Exception as exc:  # internal failure, still JSON

@@ -1,0 +1,168 @@
+"""Process-pool scoring backend for the serving front (PR 9).
+
+The single-process :class:`~repro.serving.service.ScoringService`
+scores every micro-batch on one thread inside the HTTP process: the
+GIL-bound slices of featurization compete with request handling, and
+one process caps throughput at one core.  :class:`WorkerPool` moves
+the scoring off-process — N worker processes each hold the frozen
+scorer(s), the front fans micro-batches to them and keeps only the
+admission/shed/deadline bookkeeping.
+
+Contract:
+
+* **byte-identical masks** — a worker loads the *same* artifact with
+  ``BatchScorer.from_artifact`` and runs the same deterministic
+  scoring path, so the flags for a batch are bitwise the single-process
+  flags for every worker count (pinned in
+  ``tests/test_serving_service.py``);
+* **per-worker scorer cache** — workers load artifacts lazily on first
+  use and cache them keyed by path, validated by the artifact's
+  ``arrays_sha256``: a hot reload (new checksum at the same or a new
+  path) makes every worker reload before scoring its next batch, and a
+  small LRU bounds resident scorers per worker for multi-tenant
+  serving;
+* **spawn, not fork** — the service runs threads (HTTP handlers, batch
+  lanes); forking a threaded process can deadlock on inherited locks,
+  so workers start from a fresh interpreter.  The first batch per
+  worker pays the artifact load; steady state pays only row/flag
+  serialization;
+* **in-process inside each worker** — workers score with ``n_jobs=1``
+  (one pool level: the process fan-out owns the parallelism), the same
+  discipline as the streaming shard executor.
+
+Failures inside a worker surface to the submitting lane as the
+original exception (``ArtifactError`` etc. pickle cleanly), so the
+service's error mapping is identical with and without workers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import multiprocessing
+
+import numpy as np
+
+from repro.errors import ArtifactError, ReproError
+
+#: Resident scorers per worker process before the per-worker LRU
+#: evicts the least recently used (multi-tenant serving keeps the
+#: front-side registry as the authoritative cache; workers only need
+#: the actively scoring tail).
+DEFAULT_MAX_RESIDENT_PER_WORKER = 8
+
+#: Per-process scorer cache: path -> (arrays_sha256, BatchScorer).
+#: Lives in the *worker* interpreter; the front process never touches
+#: it.  OrderedDict gives LRU ordering via move_to_end.
+_RESIDENT: "OrderedDict[str, tuple[str, object]]" = OrderedDict()
+_MAX_RESIDENT = DEFAULT_MAX_RESIDENT_PER_WORKER
+
+
+def _worker_scorer(path: str, arrays_sha256: str | None):
+    """The worker-side cache lookup: load/reload/evict as needed."""
+    from repro.serving.scorer import BatchScorer
+
+    cached = _RESIDENT.get(path)
+    if cached is not None:
+        sha, scorer = cached
+        if arrays_sha256 is None or sha == arrays_sha256:
+            _RESIDENT.move_to_end(path)
+            return scorer
+        del _RESIDENT[path]  # stale: the artifact changed under us
+    scorer = BatchScorer.from_artifact(path, n_jobs=1)
+    sha = scorer.info.get("arrays_sha256")
+    if arrays_sha256 is not None and sha != arrays_sha256:
+        raise ArtifactError(
+            f"worker loaded {path} with checksum {sha!r}, the front "
+            f"expected {arrays_sha256!r} (artifact changed mid-swap?)"
+        )
+    _RESIDENT[path] = (sha, scorer)
+    while len(_RESIDENT) > _MAX_RESIDENT:
+        _RESIDENT.popitem(last=False)
+    return scorer
+
+
+def _score_batch(
+    path: str, arrays_sha256: str | None, rows: list[dict]
+) -> np.ndarray:
+    """Top-level task function (must be picklable for spawn)."""
+    scorer = _worker_scorer(path, arrays_sha256)
+    return scorer.score_rows(rows, name="request").mask.matrix
+
+
+def _warm(path: str, arrays_sha256: str | None) -> str:
+    """Pre-load an artifact into this worker's cache."""
+    _worker_scorer(path, arrays_sha256)
+    return path
+
+
+class WorkerPoolBroken(ReproError):
+    """A worker process died; the pool cannot score until restarted."""
+
+
+class WorkerPool:
+    """N spawn-started scoring processes behind one submit interface.
+
+    The front submits ``(artifact_path, arrays_sha256, rows)`` and
+    blocks for the boolean flag matrix; which worker runs it is the
+    executor's choice.  Determinism is unaffected: scoring is a pure
+    function of (artifact bytes, rows).
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ArtifactError(
+                f"worker pool needs >= 1 process, got {n_workers}"
+            )
+        self.n_workers = n_workers
+        ctx = multiprocessing.get_context("spawn")
+        self._pool = ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=ctx
+        )
+        self._closed = False
+
+    def score(
+        self,
+        path: str | Path,
+        arrays_sha256: str | None,
+        rows: list[dict],
+    ) -> np.ndarray:
+        """Score one micro-batch on some worker; blocks for the flags."""
+        if self._closed:
+            raise ReproError("worker pool is shut down")
+        try:
+            return self._pool.submit(
+                _score_batch, str(path), arrays_sha256, rows
+            ).result()
+        except BrokenProcessPool as exc:
+            raise WorkerPoolBroken(
+                f"a scoring worker died ({exc}); restart the service"
+            ) from exc
+
+    def warm(self, path: str | Path, arrays_sha256: str | None) -> None:
+        """Best-effort pre-load across workers (cuts first-hit latency).
+
+        ``ProcessPoolExecutor`` offers no per-worker targeting, so one
+        warm task per worker is submitted; an idle pool will spread
+        them, a busy one folds them into fewer workers — either way
+        every worker self-heals lazily on its first real batch.
+        """
+        futures = [
+            self._pool.submit(_warm, str(path), arrays_sha256)
+            for _ in range(self.n_workers)
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except BrokenProcessPool as exc:  # pragma: no cover
+                raise WorkerPoolBroken(
+                    f"a scoring worker died while warming ({exc})"
+                ) from exc
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=False, cancel_futures=True)

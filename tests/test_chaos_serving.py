@@ -254,13 +254,22 @@ class _TearOnNthWrite:
 
 
 class TestSaturatedService:
-    def test_saturation_sheds_cleanly(self, scorer):
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_saturation_sheds_cleanly(self, scorer, artifact_dir, workers):
         """Hammer a tiny admission queue from many clients: every
         response is well-formed 200/503/504, flags are always the
-        right shape, and /healthz accounts for the shed requests."""
+        right shape, and /healthz accounts for the shed requests.
+
+        Runs once single-process and once with a 2-process worker pool
+        (PR 9): moving scoring off-process must not loosen a single
+        shed/deadline invariant."""
         service = ScoringService(
-            scorer, port=0, max_queue_rows=8, linger_s=0.02
+            scorer, port=0, max_queue_rows=8, linger_s=0.02,
+            artifact_path=artifact_dir, workers=workers,
         ).start()
+        # Pay the per-worker artifact load up front so the saturation
+        # burst measures admission behaviour, not spawn latency.
+        service.warm_workers()
         attr = scorer.attributes[0]
         n_attrs = len(scorer.attributes)
         statuses: list[int] = []

@@ -20,6 +20,7 @@ import pytest
 from repro.config import ZeroEDConfig
 from repro.core.pipeline import ZeroED
 from repro.data.registry import get_dataset
+from repro.serving.artifact import ARTIFACT_VERSION
 from repro.serving.scorer import BatchScorer
 from repro.serving.service import ScoringService
 
@@ -86,7 +87,7 @@ class TestEndpoints:
         assert status == 200
         assert payload["attributes"] == scorer.attributes
         assert payload["train_rows"] == 120
-        assert payload["version"] == 1
+        assert payload["version"] == ARTIFACT_VERSION
 
     def test_unknown_path_404(self, service):
         status, payload = _get(service.url + "/nope")
@@ -476,3 +477,167 @@ class TestResilience:
             svc.reload_artifact()
         assert svc.scorer is before
         svc.stop()
+
+
+class TestKeepAlive:
+    """PR 9 satellite: HTTP/1.1 connection reuse.
+
+    The handler sets ``protocol_version = "HTTP/1.1"`` and every
+    response carries Content-Length — pin that two requests actually
+    flow over one TCP connection (a per-request close would make the
+    second request fail or the server hang)."""
+
+    def test_two_requests_on_one_connection(self, service, hospital):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=30
+        )
+        try:
+            for i in range(2):
+                body = json.dumps({"rows": [hospital.dirty.row(i)]})
+                conn.request(
+                    "POST", "/score", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                payload = json.loads(resp.read())
+                assert resp.status == 200
+                assert payload["n_rows"] == 1
+                # HTTP/1.1 + Content-Length => the server leaves the
+                # connection open; http.client raises on reuse of a
+                # closed one, so reaching i=1 proves reuse.
+                assert resp.version == 11
+                assert resp.getheader("Content-Length") is not None
+        finally:
+            conn.close()
+
+    def test_error_responses_keep_the_connection(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            service.host, service.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/score", body=json.dumps({"rows": "nope"}),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.status == 400
+            # A 4xx must not kill the keep-alive: the next request on
+            # the same socket still answers.
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+        finally:
+            conn.close()
+
+
+class TestArtifactStreaming:
+    """PR 9 satellite: GET /artifact/arrays streams the bulk file."""
+
+    def test_streamed_bytes_equal_the_file(self, artifact_path):
+        from repro.serving.artifact import ARRAYS_NAME
+
+        svc = ScoringService.from_artifact(artifact_path, port=0).start()
+        try:
+            with urllib.request.urlopen(
+                svc.url + "/artifact/arrays", timeout=30
+            ) as resp:
+                assert resp.status == 200
+                assert (
+                    resp.headers["Content-Type"]
+                    == "application/octet-stream"
+                )
+                data = resp.read()
+        finally:
+            svc.stop()
+        on_disk = (artifact_path / ARRAYS_NAME).read_bytes()
+        assert data == on_disk
+
+    def test_no_artifact_path_404s(self, scorer):
+        svc = ScoringService(scorer, port=0).start()  # live, no artifact
+        try:
+            status, payload = _get(svc.url + "/artifact/arrays")
+            assert status == 404
+            assert payload["code"] == "not_found"
+        finally:
+            svc.stop()
+
+
+class TestWorkers:
+    """PR 9 tentpole: process-pool scoring, byte-identical masks."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_masks_byte_identical_across_worker_counts(
+        self, artifact_path, scorer, hospital, workers
+    ):
+        rows = [hospital.dirty.row(i) for i in range(24)]
+        expected = scorer.score_rows(rows).mask.matrix.tolist()
+        svc = ScoringService.from_artifact(
+            artifact_path, workers=workers, port=0
+        ).start()
+        try:
+            status, payload = _post(svc.url + "/score", {"rows": rows})
+            assert status == 200
+            assert payload["flags"] == expected
+            status, health = _get(svc.url + "/healthz")
+            assert health["workers"] == workers
+        finally:
+            svc.stop()
+
+    def test_worker_reload_picks_up_new_checksum(
+        self, artifact_path, scorer, hospital, tmp_path
+    ):
+        """A hot reload to a different artifact path must make workers
+        score with the *new* artifact on their next batch (the worker
+        cache is validated by arrays_sha256, not just path)."""
+        rows = [hospital.dirty.row(i) for i in range(10)]
+        expected = scorer.score_rows(rows).mask.matrix.tolist()
+        svc = ScoringService.from_artifact(
+            artifact_path, workers=1, port=0
+        ).start()
+        try:
+            status, first = _post(svc.url + "/score", {"rows": rows})
+            assert status == 200 and first["flags"] == expected
+            # Same-schema artifact at a new path (a copy is the
+            # cheapest same-schema artifact there is).
+            import shutil
+
+            clone = tmp_path / "clone"
+            shutil.copytree(artifact_path, clone)
+            status, reloaded = _post(
+                svc.url + "/reload", {"artifact": str(clone)}
+            )
+            assert status == 200 and reloaded["reloaded"] is True
+            status, second = _post(svc.url + "/score", {"rows": rows})
+            assert status == 200 and second["flags"] == expected
+        finally:
+            svc.stop()
+
+    def test_worker_scorer_cache_validates_sha(self, artifact_path):
+        """Worker-side cache unit semantics, run in-process: repeated
+        lookups hit the cache, a checksum the front didn't expect is an
+        integrity error, a stale cached checksum forces a reload."""
+        from repro.errors import ArtifactError
+        from repro.serving import workers as w
+
+        w._RESIDENT.clear()
+        try:
+            first = w._worker_scorer(str(artifact_path), None)
+            sha = first.info["arrays_sha256"]
+            again = w._worker_scorer(str(artifact_path), sha)
+            assert again is first  # cache hit, no reload
+            with pytest.raises(ArtifactError, match="checksum"):
+                w._worker_scorer(str(artifact_path), "0" * 64)
+            # Stale cache entry (sha changed under the same path):
+            # the lookup drops it and loads fresh.
+            w._RESIDENT[str(artifact_path)] = ("stale", first)
+            fresh = w._worker_scorer(str(artifact_path), sha)
+            assert fresh is not first
+            assert fresh.info["arrays_sha256"] == sha
+        finally:
+            w._RESIDENT.clear()
