@@ -1,0 +1,277 @@
+"""Benchmark: telemetry overhead gate (observability layer, PR 10).
+
+The tracing contract has two halves and this benchmark gates both:
+
+* **observe-only** — scoring with a recording tracer installed must
+  produce byte-identical masks to scoring with the default no-op
+  tracer, and the exported Chrome trace must be valid JSON covering
+  the expected span names (``featurize`` / ``base_matrix`` /
+  ``predict``);
+* **cheap when off, cheap enough when on** — the instrumented scoring
+  path is timed best-of-N under the no-op tracer and again under a
+  recording tracer.  The gate fails only when the enabled run is both
+  >5% slower *and* the absolute gap exceeds a tenth of the shared GEMM
+  calibration unit — a relative-only gate flakes on CI noise when the
+  workload is fast, an absolute-only gate goes blind on slow hardware.
+
+A per-span microbenchmark (no-op span vs a bare ``perf_counter`` pair
+on an empty body) is recorded for the JSON but not gated: it measures
+nanoseconds and any gate on it would be a coin flip.
+
+Writes ``BENCH_obs.json``.  ``--smoke`` runs the same cases at the
+same sizes (the workload is already CI-sized) and exits 1 on any
+failure — the CI gate for the observability layer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from _common import calibrate_gemm_s
+
+from repro.config import ZeroEDConfig
+from repro.core.pipeline import ZeroED
+from repro.data.registry import make_dataset
+from repro.obs import trace
+
+#: Overhead gate: enabled-tracer scoring may exceed no-op scoring by
+#: at most this factor...
+MAX_OVERHEAD_RATIO = 1.05
+#: ...unless the absolute gap is below this many GEMM calibration
+#: units (sub-noise differences never trip the gate).
+ABS_SLACK_GEMM_UNITS = 0.1
+
+FIT_ROWS = 2_000
+SCORE_ROWS = 5_000
+REPEATS = 3
+
+#: Span names one scoring pass must land in the trace.
+EXPECTED_SCORE_SPANS = ("featurize", "base_matrix", "predict")
+
+
+def _mask_sha(mask) -> str:
+    return hashlib.sha256(mask.matrix.tobytes()).hexdigest()
+
+
+def fit_scorer():
+    """One Tax fit shared by every case (scoring is the subject)."""
+    config = ZeroEDConfig(
+        seed=0, sampling_engine="auto", detector_engine="auto"
+    )
+    t0 = time.perf_counter()
+    fitted = ZeroED(config).fit(
+        make_dataset("tax", n_rows=FIT_ROWS, seed=0).dirty
+    )
+    return fitted, fitted.scorer(), time.perf_counter() - t0
+
+
+def overhead_case(scorer) -> tuple[dict, list[str]]:
+    """Best-of-N scoring wall time, no-op vs recording tracer.
+
+    The modes are interleaved (noop, enabled, noop, enabled, ...) so a
+    machine warming up or throttling mid-benchmark penalises both
+    sides equally instead of whichever ran second.
+    """
+    failures: list[str] = []
+    table = make_dataset("tax", n_rows=SCORE_ROWS, seed=1).dirty
+    scorer.score_table(table)  # warm caches once, outside timing
+
+    times = {"noop": [], "enabled": []}
+    shas = {"noop": set(), "enabled": set()}
+    span_names: set[str] = set()
+    for _ in range(REPEATS):
+        for mode in ("noop", "enabled"):
+            tracer = trace.Tracer() if mode == "enabled" else None
+            if tracer is not None:
+                trace.set_tracer(tracer)
+            try:
+                t0 = time.perf_counter()
+                result = scorer.score_table(table)
+                times[mode].append(time.perf_counter() - t0)
+            finally:
+                trace.set_tracer(None)
+            shas[mode].add(_mask_sha(result.mask))
+            if tracer is not None:
+                span_names.update(r.name for r in tracer.records)
+
+    best_noop = min(times["noop"])
+    best_enabled = min(times["enabled"])
+    calib = calibrate_gemm_s()
+    ratio = best_enabled / best_noop
+    gap_units = (best_enabled - best_noop) / calib
+    out = {
+        "n_rows": SCORE_ROWS,
+        "repeats": REPEATS,
+        "noop_best_s": round(best_noop, 4),
+        "enabled_best_s": round(best_enabled, 4),
+        "overhead_ratio": round(ratio, 4),
+        "gemm_calibration_s": round(calib, 4),
+        "gap_gemm_units": round(gap_units, 4),
+        "max_ratio": MAX_OVERHEAD_RATIO,
+        "abs_slack_units": ABS_SLACK_GEMM_UNITS,
+        "spans_per_score": sorted(span_names),
+    }
+    if ratio > MAX_OVERHEAD_RATIO and gap_units > ABS_SLACK_GEMM_UNITS:
+        failures.append(
+            f"enabled tracer is {ratio:.3f}x the no-op scoring time "
+            f"(gap {gap_units:.3f} calibration units; gate "
+            f"{MAX_OVERHEAD_RATIO}x / {ABS_SLACK_GEMM_UNITS} units)"
+        )
+    if len(shas["noop"] | shas["enabled"]) != 1:
+        failures.append(
+            "masks diverge across tracer modes — telemetry is not "
+            "observe-only"
+        )
+    out["mask_identical_across_modes"] = (
+        len(shas["noop"] | shas["enabled"]) == 1
+    )
+    for name in EXPECTED_SCORE_SPANS:
+        if name not in span_names:
+            failures.append(f"scoring trace is missing span {name!r}")
+    return out, failures
+
+
+def trace_export_case(scorer) -> tuple[dict, list[str]]:
+    """One traced score exported to disk must be Perfetto-loadable
+    (valid JSON, complete X events, parent links that resolve)."""
+    failures: list[str] = []
+    table = make_dataset("tax", n_rows=1_000, seed=2).dirty
+    tracer = trace.Tracer()
+    trace.set_tracer(tracer)
+    try:
+        scorer.score_table(table)
+    finally:
+        trace.set_tracer(None)
+    with TemporaryDirectory() as tmp:
+        out_path = Path(tmp) / "score_trace.json"
+        tracer.export(out_path)
+        payload = json.loads(out_path.read_text())
+    events = payload.get("traceEvents", [])
+    ids = {e["args"]["span_id"] for e in events}
+    dangling = [
+        e["name"]
+        for e in events
+        if e["args"].get("parent_id") not in ids
+        and "parent_id" in e["args"]
+    ]
+    out = {
+        "n_events": len(events),
+        "span_names": sorted({e["name"] for e in events}),
+        "dangling_parents": dangling,
+    }
+    if not events:
+        failures.append("exported trace carries no events")
+    for event in events:
+        if event.get("ph") != "X" or event.get("dur", -1) < 0:
+            failures.append(f"malformed trace event {event.get('name')!r}")
+            break
+    if dangling:
+        failures.append(f"dangling parent ids on spans {dangling!r}")
+    return out, failures
+
+
+def noop_span_case() -> dict:
+    """Per-span cost of the no-op path vs a bare perf_counter pair.
+
+    Recorded for the JSON (nanoseconds; a gate here would be noise).
+    """
+    n = 100_000
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        s0 = time.perf_counter()
+        time.perf_counter()  # the "stage"
+        time.perf_counter() - s0
+    bare_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with trace.span("noop"):
+            time.perf_counter()
+    span_s = time.perf_counter() - t0
+
+    return {
+        "iterations": n,
+        "bare_pair_ns": round(1e9 * bare_s / n, 1),
+        "noop_span_ns": round(1e9 * span_s / n, 1),
+        "ratio": round(span_s / bare_s, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="overhead + export + observe-only gates; exit 1 on "
+        "failure (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_obs.json",
+    )
+    args = parser.parse_args()
+
+    fitted, scorer, fit_s = fit_scorer()
+    results: dict = {
+        "protocol": (
+            "one Tax fit (2k rows, auto engines); scoring a 5k table "
+            "best-of-3 with the default no-op tracer vs a recording "
+            "tracer, modes interleaved; gate trips only when the "
+            "enabled run is >5% slower AND the gap exceeds 0.1 GEMM "
+            "calibration units; masks must be byte-identical across "
+            "modes and the exported Chrome trace valid"
+        ),
+        "fit_s": round(fit_s, 1),
+        "engines": fitted.details["engines"],
+        "cases": {},
+    }
+    all_failures: list[str] = []
+
+    overhead, failures = overhead_case(scorer)
+    results["cases"]["overhead"] = overhead
+    all_failures.extend(failures)
+    print(
+        f"overhead: noop {overhead['noop_best_s']}s, enabled "
+        f"{overhead['enabled_best_s']}s ({overhead['overhead_ratio']}x, "
+        f"gap {overhead['gap_gemm_units']} calibration units), "
+        f"masks identical={overhead['mask_identical_across_modes']}"
+    )
+
+    export, failures = trace_export_case(scorer)
+    results["cases"]["export"] = export
+    all_failures.extend(failures)
+    print(
+        f"export: {export['n_events']} events, spans "
+        f"{export['span_names']}, dangling={export['dangling_parents']}"
+    )
+
+    results["cases"]["noop_span"] = noop_span_case()
+    print(
+        f"noop span: {results['cases']['noop_span']['noop_span_ns']}ns "
+        f"vs bare pair {results['cases']['noop_span']['bare_pair_ns']}ns"
+    )
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if all_failures:
+        for failure in all_failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

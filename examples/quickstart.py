@@ -181,6 +181,52 @@ def main() -> None:
     #    and the workers throughput sweep).  GET /artifact/arrays
     #    streams the bulk file in chunks for replica warm-up.
 
+    # 10. Unified telemetry (observe-only: masks are byte-identical
+    #     with everything below on or off).  Three faces, one layer:
+    #
+    #     Span tracing — every fit stage, per-attribute fan-out task,
+    #     and scoring pass runs inside a span; export a Chrome trace
+    #     and load it at https://ui.perfetto.dev to see where a fit
+    #     actually spends its time:
+    #
+    #         repro fit --dataset hospital --rows 500 \
+    #               --artifact-out art/ --trace-out fit_trace.json
+    #
+    #     or in code:
+    #
+    #         from repro.obs import trace
+    #         tracer = trace.Tracer()
+    #         trace.set_tracer(tracer)
+    #         try:
+    #             fitted = ZeroED(seed=0).fit(data.dirty)
+    #         finally:
+    #             trace.set_tracer(None)
+    #         tracer.export("fit_trace.json")
+    #
+    #     The default tracer is a no-op (~nanoseconds per span; the
+    #     CI gate in benchmarks/bench_obs.py holds the enabled tracer
+    #     within 5% of it).
+    #
+    #     Prometheus metrics — the service exposes GET /metrics in
+    #     text exposition format: request/latency histograms and
+    #     scored-row counters per tenant, queue/shed/deadline/worker
+    #     gauges, registry hit/miss/eviction counts, plus fit-time
+    #     provenance (LLM tokens, retries, breaker opens) from the
+    #     loaded artifact:
+    #
+    #         repro serve --artifact art/ &
+    #         curl -s localhost:8537/metrics | grep repro_
+    #
+    #     Structured logs — quiet by default; --log-json turns every
+    #     lifecycle event (retries, breaker opens, shed requests,
+    #     journal resume decisions) into one JSON line on stderr with
+    #     trace_id/request_id correlation fields:
+    #
+    #         repro serve --artifact art/ --log-json --log-level debug
+    #
+    #     All CLI commands take --log-json/--log-level; fit-family
+    #     commands also take --trace-out.
+
 
 if __name__ == "__main__":
     main()

@@ -8,11 +8,11 @@ so the benchmark harness treats all methods uniformly.
 from __future__ import annotations
 
 import abc
-import time
 
 from repro.core.result import DetectionResult, StageInfo
 from repro.data.mask import ErrorMask
 from repro.data.table import Table
+from repro.obs import trace
 
 
 class Detector(abc.ABC):
@@ -25,16 +25,36 @@ class Detector(abc.ABC):
         """Produce the predicted error mask for ``table``."""
 
     def detect(self, table: Table) -> DetectionResult:
-        """Run detection with timing; token fields stay zero unless the
-        detector uses an LLM (FM_ED overrides to fill them in)."""
-        start = time.perf_counter()
-        mask = self._detect_mask(table)
-        elapsed = time.perf_counter() - start
+        """Run detection under one timing span.
+
+        The timing path is shared by every baseline (one span, one
+        ``elapsed``); subclasses customise the edges instead of
+        copy-pasting the ``perf_counter`` pair: :meth:`_before_detect`
+        for setup (FM_ED resets its token ledger there) and
+        :meth:`_build_result` for the result shape (FM_ED adds token
+        accounting).
+        """
+        self._before_detect(table)
+        with trace.span(
+            "detect", method=self.name, dataset=table.name,
+            rows=table.n_rows,
+        ) as sp:
+            mask = self._detect_mask(table)
+        return self._build_result(table, mask, sp.seconds)
+
+    def _before_detect(self, table: Table) -> None:
+        """Hook run before the timed detection starts (default: none)."""
+
+    def _build_result(
+        self, table: Table, mask: ErrorMask, seconds: float
+    ) -> DetectionResult:
+        """Shape the timed mask into a result; token fields stay zero
+        unless the detector uses an LLM (FM_ED overrides)."""
         return DetectionResult(
             mask=mask,
             dataset=table.name,
             method=self.name,
-            stages=[StageInfo(name="detect", seconds=elapsed)],
+            stages=[StageInfo(name="detect", seconds=seconds)],
         )
 
 

@@ -10,8 +10,6 @@ anomalies).
 
 from __future__ import annotations
 
-import time
-
 from repro.baselines.base import Detector
 from repro.core.result import DetectionResult, StageInfo
 from repro.data.mask import ErrorMask
@@ -47,11 +45,12 @@ class FMED(Detector):
                     mask.set(i, attr, True)
         return mask
 
-    def detect(self, table: Table) -> DetectionResult:
+    def _before_detect(self, table: Table) -> None:
         self.llm.ledger.reset()
-        start = time.perf_counter()
-        mask = self._detect_mask(table)
-        elapsed = time.perf_counter() - start
+
+    def _build_result(
+        self, table: Table, mask: ErrorMask, seconds: float
+    ) -> DetectionResult:
         ledger = self.llm.ledger.summary()
         return DetectionResult(
             mask=mask,
@@ -59,7 +58,7 @@ class FMED(Detector):
             method=f"fm_ed[{self.llm.model_name}]",
             stages=[StageInfo(
                 name="detect",
-                seconds=elapsed,
+                seconds=seconds,
                 input_tokens=ledger["input_tokens"],
                 output_tokens=ledger["output_tokens"],
             )],

@@ -87,6 +87,29 @@ def _add_zeroed_flags(parser: argparse.ArgumentParser) -> None:
     _add_resilience_flags(parser)
 
 
+def _add_obs_flags(
+    parser: argparse.ArgumentParser, *, tracing: bool = True
+) -> None:
+    """The shared telemetry flags (span tracing + structured logs)."""
+    group = parser.add_argument_group("telemetry")
+    if tracing:
+        group.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="record every pipeline span and write a Chrome "
+                 "trace-event JSON file (load it in Perfetto or "
+                 "chrome://tracing); tracing is off by default and "
+                 "observe-only — masks are byte-identical either way")
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs on stderr, each line "
+             "carrying the trace/request ids for correlation")
+    group.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="log verbosity (debug/info/warning/error/critical); "
+             "implies logging output even without --log-json "
+             "(default: logging stays off)")
+
+
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     """Fault-tolerance knobs of the LLM phase (resilience layer)."""
     group = parser.add_argument_group("LLM fault tolerance")
@@ -133,6 +156,9 @@ def _zeroed_config(args) -> ZeroEDConfig:
         sampling_engine=args.sampling_engine,
         detector_engine=args.detector_engine,
         n_jobs=args.jobs,
+        trace_out=getattr(args, "trace_out", None),
+        log_json=getattr(args, "log_json", False),
+        log_level=getattr(args, "log_level", None),
         **resilience,
     )
 
@@ -156,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="zeroed", choices=METHODS)
     _add_zeroed_flags(p)
     _add_engine_flags(p)
+    _add_obs_flags(p)
     p.add_argument("--mask-out", default=None,
                    help="write the predicted mask JSON here")
     _add_common(p)
@@ -164,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("csv", help="path to a dirty CSV file")
     _add_zeroed_flags(p)
     _add_engine_flags(p)
+    _add_obs_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--mask-out", default=None)
 
@@ -186,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "tables chunk-by-chunk")
     _add_zeroed_flags(p)
     _add_engine_flags(p)
+    _add_obs_flags(p)
     _add_common(p)
 
     p = sub.add_parser(
@@ -197,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="detector artifact directory written by "
                         "'repro fit --artifact-out'")
     _add_engine_flags(p, engines=False)
+    _add_obs_flags(p)
     p.add_argument("--chunk-rows", type=int, default=None, metavar="N",
                    help="stream the CSV in shards of N rows instead of "
                         "loading it whole — bounded memory for "
@@ -275,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "this long for queued work to finish, then "
                         "exit (default: 30)")
     _add_engine_flags(p, engines=False)
+    # A long-running server would grow an unbounded span list; serve
+    # gets the structured-log flags only (scrape /metrics for numbers).
+    _add_obs_flags(p, tracing=False)
 
     p = sub.add_parser("compare", help="method x dataset comparison grid")
     p.add_argument("--datasets", default=",".join(COMPARISON_DATASETS))
@@ -290,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "detection pass instead of refitting")
     _add_zeroed_flags(p)
     _add_engine_flags(p)
+    _add_obs_flags(p)
     _add_common(p)
     return parser
 
@@ -504,7 +538,8 @@ def cmd_serve(args) -> int:
         print(f"note: {len(degraded)} attribute(s) were fitted degraded "
               f"(see GET /healthz): {', '.join(sorted(degraded))}")
     print("endpoints: POST /score  POST /reload  GET /healthz  "
-          "GET /readyz  GET /artifact  GET /artifact/arrays")
+          "GET /readyz  GET /metrics  GET /artifact  "
+          "GET /artifact/arrays")
 
     def _on_sigterm(signum, frame) -> None:
         # drain() ends with stop(), whose server.shutdown() must not
@@ -576,9 +611,24 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import obs
+
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
     try:
-        return _COMMANDS[args.command](args)
+        # One telemetry session around the whole command: spans from
+        # every layer land in one trace, log lines share one config.
+        # (ZeroED.fit opens its own session from the config; the
+        # already-installed guard makes the inner one a no-op.)
+        with obs.session(
+            trace_out=trace_out,
+            log_json=getattr(args, "log_json", False),
+            log_level=getattr(args, "log_level", None),
+        ):
+            code = _COMMANDS[args.command](args)
+        if trace_out is not None:
+            print(f"trace written to {trace_out}")
+        return code
     except ReproError as exc:
         # Library failures exit with a stable machine-readable JSON
         # line on stderr — the CLI twin of the service's error bodies

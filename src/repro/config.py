@@ -218,6 +218,25 @@ class ZeroEDConfig:
     value; only throughput changes.  Orthogonal to ``n_jobs``: workers
     score with ``n_jobs=1`` internally (one pool level)."""
 
+    # --- observability (repro.obs) ---
+    trace_out: str | None = None
+    """Write a Chrome trace-event JSON file (loadable in Perfetto /
+    ``chrome://tracing``) covering the fit's span tree — every stage
+    plus the per-attribute fan-outs — to this path.  Tracing is
+    observe-only: masks are byte-identical with it on or off.  ``None``
+    (default) keeps the free no-op tracer."""
+
+    log_json: bool = False
+    """Emit structured JSON-lines logs on stderr (one object per
+    record: timestamp, level, event, fields, trace/request-id
+    correlation).  False keeps the library quiet unless the embedding
+    application configured ``logging`` itself."""
+
+    log_level: str | None = None
+    """Log threshold for the ``repro`` logger hierarchy when set
+    (``debug``/``info``/``warning``/``error``/``critical``); ``None``
+    leaves logging unconfigured (quiet by default)."""
+
     # --- misc ---
     seed: int = 0
     min_cluster_count: int = 4
@@ -283,6 +302,14 @@ class ZeroEDConfig:
             if value is not None and value < 1:
                 raise ConfigError(
                     f"{name} must be >= 1 or None, got {value}"
+                )
+        if self.log_level is not None:
+            from repro.obs.log import LEVELS
+
+            if self.log_level.lower() not in LEVELS:
+                raise ConfigError(
+                    f"log_level must be one of {LEVELS} or None, "
+                    f"got {self.log_level!r}"
                 )
         if self.bad_rows not in ("fail", "quarantine"):
             raise ConfigError(

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-import time
 from pathlib import Path
 
 from repro.config import ZeroEDConfig
@@ -54,7 +53,12 @@ from repro.llm.client import LLMClient
 from repro.llm.profiles import get_profile
 from repro.llm.resilience import ResilientLLM, RetryPolicy
 from repro.ml.rng import spawn
+from repro.obs import log as obs_log
+from repro.obs import session as obs_session
+from repro.obs import trace
 from repro.parallel import effective_jobs, parallel_attr_map
+
+_log = obs_log.get_logger("repro.core.pipeline")
 
 
 class ZeroED:
@@ -106,6 +110,23 @@ class ZeroED:
         augmentation, and MLP training.  The returned
         :class:`FittedZeroED` scores tables without further LLM calls.
         """
+        # Observability knobs carried on the config (the CLI wraps the
+        # whole command in its own session, which then wins): an inner
+        # session is a no-op unless config asks for something.
+        with obs_session(
+            trace_out=self.config.trace_out,
+            log_json=self.config.log_json,
+            log_level=self.config.log_level,
+        ):
+            with trace.span(
+                "fit",
+                dataset=table.name,
+                rows=table.n_rows,
+                attributes=table.n_attributes,
+            ):
+                return self._fit(table)
+
+    def _fit(self, table: Table) -> "FittedZeroED":
         config = self.config
         # Out-of-core fit (streaming layer): with a sample_rows budget
         # and a larger table, the LLM-guided phase runs on a seeded
@@ -164,24 +185,32 @@ class ZeroED:
             def record(attr: str, exc: LLMError) -> None:
                 with degraded_lock:
                     degraded.setdefault(attr, set()).add(stage)
+                _log.warning(
+                    "llm.degraded", attr=attr, stage=stage, error=str(exc)
+                )
 
             return record
 
         def run_stage(name: str, fn):
             before = llm.ledger.summary()
-            start = time.perf_counter()
-            value = fn()
-            elapsed = time.perf_counter() - start
+            with trace.span(name) as sp:
+                value = fn()
             after = llm.ledger.summary()
-            stages.append(
-                StageInfo(
-                    name=name,
-                    seconds=elapsed,
-                    input_tokens=after["input_tokens"] - before["input_tokens"],
-                    output_tokens=(
-                        after["output_tokens"] - before["output_tokens"]
-                    ),
-                )
+            info = StageInfo(
+                name=name,
+                seconds=sp.seconds,
+                input_tokens=after["input_tokens"] - before["input_tokens"],
+                output_tokens=(
+                    after["output_tokens"] - before["output_tokens"]
+                ),
+            )
+            stages.append(info)
+            _log.debug(
+                "fit.stage",
+                stage=name,
+                seconds=round(info.seconds, 6),
+                input_tokens=info.input_tokens,
+                output_tokens=info.output_tokens,
             )
             return value
 
@@ -232,6 +261,7 @@ class ZeroED:
                 ),
                 table.attributes,
                 config.n_jobs,
+                span="sample",
             )
 
         sampling = run_stage("sampling", do_sampling)
@@ -307,6 +337,7 @@ class ZeroED:
                 ),
                 table.attributes,
                 config.n_jobs,
+                span="verify",
             )
             if parallel:
                 # Criteria refinement invalidated base matrices; warm
@@ -327,6 +358,7 @@ class ZeroED:
                 ),
                 table.attributes,
                 config.n_jobs,
+                span="assemble",
             )
 
         training = run_stage("training_data", do_training_data)
@@ -457,10 +489,11 @@ class FittedZeroED:
         """
         if table is not self.table:
             return self.scorer().score_table(table)
-        start = time.perf_counter()
-        mask = self.detector.predict(table, self.feature_space)
-        elapsed = time.perf_counter() - start
-        stages = list(self.stages) + [StageInfo("predict", elapsed, 0, 0)]
+        with trace.span(
+            "predict", dataset=table.name, rows=table.n_rows
+        ) as sp:
+            mask = self.detector.predict(table, self.feature_space)
+        stages = list(self.stages) + [StageInfo("predict", sp.seconds, 0, 0)]
         ledger = self.ledger_summary
         return DetectionResult(
             mask=mask,

@@ -42,6 +42,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import CircuitOpenError, LLMError, LLMTimeoutError
 from repro.llm.client import LLMClient, LLMRequest, LLMResponse
+from repro.obs import log as obs_log
+
+_log = obs_log.get_logger("repro.llm.resilience")
 
 #: HTTP statuses worth retrying on top of status-less failures.
 RETRYABLE_STATUS_CODES = frozenset({408, 429})
@@ -265,7 +268,15 @@ class ResilientLLM(LLMClient):
             try:
                 response = self._attempt(request)
             except LLMError as exc:
+                opens_before = self.breaker.n_opens
                 self.breaker.record_failure()
+                if self.breaker.n_opens > opens_before:
+                    _log.warning(
+                        "llm.breaker_opened",
+                        kind=request.kind,
+                        threshold=self.policy.breaker_threshold,
+                        cooldown_s=self.policy.breaker_cooldown_s,
+                    )
                 with stats._lock:
                     stats.n_breaker_opens = self.breaker.n_opens
                     stats.n_failed_attempts += 1
@@ -275,11 +286,26 @@ class ResilientLLM(LLMClient):
                 if not is_retryable(exc) or attempt >= policy.max_retries:
                     with stats._lock:
                         stats.n_failed_calls += 1
+                    _log.warning(
+                        "llm.call_failed",
+                        kind=request.kind,
+                        attempts=attempt + 1,
+                        retryable=is_retryable(exc),
+                        error=str(exc),
+                    )
                     raise
                 attempt += 1
                 with stats._lock:
                     stats.n_retries += 1
-                self._sleep(self._backoff(request, attempt))
+                backoff_s = self._backoff(request, attempt)
+                _log.info(
+                    "llm.retry",
+                    kind=request.kind,
+                    attempt=attempt,
+                    backoff_s=round(backoff_s, 3),
+                    error=str(exc),
+                )
+                self._sleep(backoff_s)
                 continue
             self.breaker.record_success()
             return response

@@ -1,0 +1,102 @@
+"""Observability: span tracing, metrics, structured logging.
+
+Three zero-dependency pillars (see the submodule docstrings):
+
+* :mod:`repro.obs.trace` — nested spans with attributes, thread
+  propagation and Chrome trace-event export; the default tracer is a
+  no-op whose overhead is benchmarked and gated.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms rendered in
+  Prometheus text format for ``GET /metrics``.
+* :mod:`repro.obs.log` — JSON-lines structured logging on stdlib
+  ``logging``, quiet by default, trace/request-id correlated.
+
+The contract shared by all three: **observe-only**.  Telemetry may
+never change a mask byte — equivalence tests pass unmodified with a
+recording tracer installed, JSON logging enabled, or both.
+
+:func:`session` is the entry-point glue (used by the CLI and honored
+by ``ZeroED.fit`` for config-carried knobs): configure logging,
+install a recording tracer, run, export the trace, restore.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs import log, metrics, trace
+from repro.obs.log import bind, configure, get_logger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NoopTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    propagate,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "bind",
+    "configure",
+    "get_logger",
+    "get_tracer",
+    "log",
+    "metrics",
+    "propagate",
+    "session",
+    "set_tracer",
+    "span",
+    "trace",
+]
+
+
+@contextmanager
+def session(
+    trace_out: str | None = None,
+    log_json: bool = False,
+    log_level: str | None = None,
+):
+    """One observability scope: logging + tracing around a unit of work.
+
+    * ``log_level``/``log_json`` configure the ``repro`` log handler
+      (JSON lines when ``log_json``, key=value otherwise; giving only
+      ``log_json`` implies level ``info``);
+    * ``trace_out`` installs a recording :class:`~repro.obs.trace.
+      Tracer` for the scope and exports Chrome trace JSON to that path
+      on exit — unless a recording tracer is already installed (an
+      outer session owns it, including its export).
+
+    With every argument falsy this is a no-op, so call sites can wrap
+    unconditionally.  Yields the active tracer (recording or not).
+    """
+    if log_level is not None or log_json:
+        configure(level=log_level or "info", json_lines=log_json)
+    installed = None
+    if trace_out and not trace.get_tracer().enabled:
+        installed = trace.Tracer()
+        trace.set_tracer(installed)
+    try:
+        yield trace.get_tracer()
+    finally:
+        if installed is not None:
+            trace.set_tracer(None)
+            installed.export(trace_out)

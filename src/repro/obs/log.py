@@ -1,0 +1,188 @@
+"""Structured JSON-lines logging on stdlib :mod:`logging`.
+
+Every library logger hangs off the ``"repro"`` root, which carries a
+``NullHandler``: **quiet by default** — imports, tests and the
+hash-pinned equivalence runs see no output unless the application (or
+the CLI's ``--log-json`` / ``--log-level`` flags) calls
+:func:`configure`.
+
+Loggers here emit *events with fields*, not format strings::
+
+    _log = get_logger("repro.serving.service")
+    _log.info("score.request", rows=64, status=200, ms=12.3)
+
+With ``configure(json_lines=True)`` each record renders as one JSON
+object per line — timestamp, level, logger, event, the fields, plus
+correlation ids: the installed tracer's ``trace_id``/``span_id`` (see
+:func:`repro.obs.trace.current_ids`) and any fields bound on the
+current context with :func:`bind` (the service binds ``request_id``
+around each request).  ``json_lines=False`` renders the same record as
+a human-readable ``key=value`` line.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs import trace as _trace
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Extra correlation fields bound on this context (tuple of pairs so
+#: the value is immutable — nested binds push/pop cleanly).
+_BOUND: ContextVar[tuple[tuple[str, object], ...]] = ContextVar(
+    "repro_log_bound", default=()
+)
+
+#: Levels accepted by configure() and the CLI --log-level flag.
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+# Library logs are invisible until configure() installs a real handler
+# (NullHandler stops logging.lastResort from printing warnings).
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+@contextmanager
+def bind(**fields):
+    """Attach correlation fields to every log record in this context."""
+    token = _BOUND.set(_BOUND.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _BOUND.reset(token)
+
+
+def bound_fields() -> dict:
+    return dict(_BOUND.get())
+
+
+class EventLogger:
+    """Thin wrapper turning ``logger.level(event, **fields)`` calls
+    into stdlib records carrying a fields dict."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"repro_fields": fields})
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> EventLogger:
+    """An :class:`EventLogger` under the ``repro`` hierarchy."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+        ROOT_LOGGER_NAME + "."
+    ):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return EventLogger(logging.getLogger(name))
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    fields = dict(bound_fields())
+    fields.update(_trace.current_ids())
+    extra = getattr(record, "repro_fields", None)
+    if extra:
+        fields.update(extra)
+    return fields
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: the machine-readable pipeline."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        out.update(_record_fields(record))
+        if record.exc_info:
+            out["exception"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable twin: ``HH:MM:SS LEVEL logger event k=v ...``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.gmtime(record.created))
+        parts = [
+            stamp,
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in _record_fields(record).items():
+            parts.append(f"{key}={value}")
+        line = " ".join(str(p) for p in parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+#: The handler configure() installed, so reconfiguring swaps instead
+#: of stacking duplicates.
+_HANDLER: logging.Handler | None = None
+
+
+def configure(
+    level: str = "info",
+    json_lines: bool = True,
+    stream: io.TextIOBase | None = None,
+) -> logging.Handler:
+    """Install (or replace) the ``repro`` log handler.
+
+    Idempotent: calling again swaps the previous handler this function
+    installed, so repeated CLI invocations or nested fits never stack
+    duplicate lines.  Handlers the application attached itself are
+    untouched.
+    """
+    if level.lower() not in LEVELS:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"log level must be one of {LEVELS}, got {level!r}"
+        )
+    global _HANDLER
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLineFormatter() if json_lines else KeyValueFormatter()
+    )
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    _HANDLER = handler
+    return handler
+
+
+def unconfigure() -> None:
+    """Remove the handler :func:`configure` installed (tests, CLI exit)."""
+    global _HANDLER
+    if _HANDLER is not None:
+        logging.getLogger(ROOT_LOGGER_NAME).removeHandler(_HANDLER)
+        _HANDLER = None

@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
 from repro.errors import ConfigError
+from repro.obs import trace as _trace
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -71,6 +72,10 @@ def parallel_map(
     jobs = effective_jobs(n_jobs, len(items))
     if jobs <= 1:
         return [fn(item) for item in items]
+    # Pool threads start from a default contextvars context; carry the
+    # caller's span context across so worker spans nest under it (a
+    # no-op returning fn unchanged when tracing is off).
+    fn = _trace.propagate(fn)
     with ThreadPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(fn, items))
 
@@ -100,6 +105,7 @@ def parallel_map_stream(
     if window is None:
         window = 2 * jobs
     window = max(window, jobs)
+    fn = _trace.propagate(fn)
     pending: deque = deque()
     pool = ThreadPoolExecutor(max_workers=jobs)
     try:
@@ -123,11 +129,25 @@ def parallel_attr_map(
     fn: Callable[[str], R],
     attrs: Sequence[str],
     n_jobs: int = 1,
+    span: str | None = None,
 ) -> dict[str, R]:
     """Per-attribute fan-out collected into an attr-keyed dict.
 
     Insertion order follows ``attrs`` (pipeline consumers iterate these
     dicts, and downstream RNG draws depend on that order), regardless
     of which worker finishes first.
+
+    ``span`` names a per-attribute tracing span wrapping each call
+    (attribute carried as the ``attr`` span attribute).  Only applied
+    when a recording tracer is installed — the default no-op tracer
+    leaves ``fn`` unwrapped, keeping the serial path bit-for-bit the
+    historical loop.
     """
+    if span is not None and _trace.get_tracer().enabled:
+        inner = fn
+
+        def fn(attr):
+            with _trace.span(span, attr=attr):
+                return inner(attr)
+
     return dict(zip(attrs, parallel_map(fn, attrs, n_jobs)))

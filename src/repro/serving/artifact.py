@@ -352,7 +352,14 @@ class DetectorArtifact:
             # needs this next to the artifact, not in a lost fit log.
             "resilience": {
                 "degraded_attrs": fitted.details.get("degraded_attrs", {}),
+                # Retry/breaker accounting from the fitting run (PR 10):
+                # feeds the serving layer's /metrics so operators see
+                # how rough the fit was without digging up its logs.
+                "fit_stats": fitted.details.get("resilience") or {},
             },
+            # Fit-time token spend (PR 10): requests / input_tokens /
+            # output_tokens / total_tokens from the fit's ledger.
+            "tokens": dict(fitted.ledger_summary),
             # Fit-time sample provenance (PR 7): how the training rows
             # were chosen when the fit ran on a reservoir sample of a
             # larger table (null = the fit saw every row; key absent =
@@ -587,6 +594,8 @@ class DetectorArtifact:
             "created_at": manifest.get("created_at"),
             # Absent in pre-PR-6 artifacts: degradation state unknown.
             "resilience": manifest.get("resilience"),
+            # Absent in pre-PR-10 artifacts: fit token spend unknown.
+            "tokens": manifest.get("tokens"),
             # Absent in pre-PR-7 artifacts: sample provenance unknown;
             # None thereafter means the fit saw every row.
             "sample": manifest.get("sample"),

@@ -52,6 +52,9 @@ import numpy as np
 
 from repro.data.mask import ErrorMask
 from repro.errors import DataError
+from repro.obs import log as obs_log
+
+_log = obs_log.get_logger("repro.serving.jobs")
 
 JOURNAL_FORMAT = "zeroed-score-journal"
 JOURNAL_VERSION = 1
@@ -163,6 +166,17 @@ class ScoreJournal:
         else:
             journal._reset()
         journal._open_for_append()
+        if journal.invalidated:
+            _log.warning(
+                "journal.invalidated",
+                directory=str(journal.directory),
+            )
+        _log.info(
+            "journal.begin",
+            directory=str(journal.directory),
+            resume=resume,
+            verified_shards=len(journal.verified),
+        )
         return journal
 
     @property
@@ -230,6 +244,13 @@ class ScoreJournal:
         self._journal_fh.flush()
         os.fsync(self._journal_fh.fileno())
         self.verified.append(shard)
+        _log.debug(
+            "journal.append",
+            shard=shard.index,
+            row_offset=shard.row_offset,
+            rows=shard.n_rows,
+            error_cells=shard.error_cells,
+        )
         return shard
 
     def close(self) -> None:

@@ -28,7 +28,6 @@ table, to ``ZeroED.detect`` itself (pinned in
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -40,6 +39,7 @@ from repro.core.featurize import AttributeFeaturizer
 from repro.core.result import DetectionResult, StageInfo
 from repro.data.table import Table
 from repro.errors import ArtifactError
+from repro.obs import trace
 from repro.parallel import parallel_attr_map
 
 
@@ -142,8 +142,10 @@ class BatchScorer:
                     "degraded_attrs": fitted.details.get(
                         "degraded_attrs", {}
                     ),
+                    "fit_stats": fitted.details.get("resilience") or {},
                 },
                 "sample": fitted.details.get("sample"),
+                "tokens": dict(fitted.ledger_summary),
             },
             n_jobs=n_jobs,
         )
@@ -218,20 +220,33 @@ class BatchScorer:
             raise ArtifactError(
                 f"row_offset must be >= 0, got {row_offset}"
             )
-        start = time.perf_counter()
-        fs = FrozenFeatureSpace(
-            table, self.featurizers, self.correlated, self.config
-        )
-        # Pre-warm the shared lazy caches serially (column encodings,
-        # vicinity lookup dicts) so the fan-out below only reads them;
-        # base matrices are per-attribute independent after that.
-        for attr in self.attributes:
-            table.encoding(attr)
-        parallel_attr_map(fs.base_matrix, self.attributes, self.config.n_jobs)
-        featurize_s = time.perf_counter() - start
-        start = time.perf_counter()
-        mask = self.detector.predict(table, fs)
-        predict_s = time.perf_counter() - start
+        with trace.span(
+            "featurize", dataset=table.name, rows=table.n_rows
+        ) as featurize_span:
+            fs = FrozenFeatureSpace(
+                table, self.featurizers, self.correlated, self.config
+            )
+            # Pre-warm the shared lazy caches serially (column
+            # encodings, vicinity lookup dicts) so the fan-out below
+            # only reads them; base matrices are per-attribute
+            # independent after that.
+            for attr in self.attributes:
+                table.encoding(attr)
+            parallel_attr_map(
+                fs.base_matrix,
+                self.attributes,
+                self.config.n_jobs,
+                span="base_matrix",
+            )
+        featurize_s = featurize_span.seconds
+        with trace.span(
+            "predict",
+            dataset=table.name,
+            rows=table.n_rows,
+            engine=self.detector.engine,
+        ) as predict_span:
+            mask = self.detector.predict(table, fs)
+        predict_s = predict_span.seconds
         return DetectionResult(
             mask=mask,
             dataset=table.name,

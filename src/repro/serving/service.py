@@ -82,14 +82,20 @@ from __future__ import annotations
 import json
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.errors import ArtifactError, ReproError
+from repro.obs import log as obs_log
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, PROMETHEUS_CONTENT_TYPE
 from repro.serving.scorer import BatchScorer
 from repro.serving.workers import WorkerPool, WorkerPoolBroken
+
+_log = obs_log.get_logger("repro.serving.service")
 
 #: How long the batching worker lingers after the first queued request
 #: to let concurrent requests coalesce, and the row cap per batch.
@@ -246,6 +252,24 @@ class _MicroBatcher:
         with self._cond:
             return not self._queue and self._inflight == 0
 
+    def stats(self) -> dict:
+        """Every batcher counter in *one* lock acquisition.
+
+        ``/healthz`` and the ``/metrics`` collector both read this, so
+        the two surfaces always agree and no reader ever sees a torn
+        pair (e.g. ``n_batches`` from before a batch landed with
+        ``n_rows`` from after).
+        """
+        with self._cond:
+            return {
+                "batches": self.n_batches,
+                "rows": self.n_rows,
+                "shed": self.n_shed,
+                "expired": self.n_expired,
+                "queued_rows": self._queued_rows,
+                "inflight": self._inflight,
+            }
+
     def stop(self) -> None:
         with self._cond:
             self._stopped = True
@@ -357,8 +381,9 @@ class _MicroBatcher:
                     )
                     pending.batched_with = len(rows)
                     offset += n
-                self.n_batches += 1
-                self.n_rows += len(rows)
+                with self._cond:
+                    self.n_batches += 1
+                    self.n_rows += len(rows)
             except Exception as exc:  # fan the failure to every waiter
                 for pending in batch:
                     pending.error = exc
@@ -436,6 +461,10 @@ class ScoringService:
         )
         self._stats_lock = threading.Lock()
         self._draining = False
+        #: Per-service metric namespace (no process-global registry, so
+        #: tests running many services in one process never collide).
+        self.metrics = MetricsRegistry()
+        self._init_metrics()
         self._batcher = _MicroBatcher(
             self._score_batch_rows,
             linger_s=linger_s,
@@ -494,6 +523,161 @@ class ScoringService:
         )
 
     # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        """Register the service's metric namespace plus one collector.
+
+        Event-driven metrics (HTTP counters, the latency histogram) are
+        updated at the call site; everything the subsystems already
+        count under their own locks — batcher shed/expired/row totals,
+        registry hit/miss/eviction/load, fit-time token and resilience
+        stats — is *bridged* by the collector at render time from the
+        same snapshot functions ``/healthz`` reads, so the two surfaces
+        can never disagree.
+        """
+        m = self.metrics
+        self._m_http = m.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by path and status",
+            labelnames=("path", "status"),
+        )
+        self._m_latency = m.histogram(
+            "repro_score_latency_seconds",
+            "Batch scoring latency (one micro-batch), by tenant",
+            labelnames=("tenant",),
+        )
+        self._m_tenant_rows = m.counter(
+            "repro_tenant_scored_rows_total",
+            "Rows scored, by tenant",
+            labelnames=("tenant",),
+        )
+        self._m_worker_batches = m.counter(
+            "repro_worker_batches_total",
+            "Micro-batches dispatched to worker processes",
+        )
+        self._m_requests = m.counter(
+            "repro_score_requests_total", "POST /score requests admitted"
+        )
+        self._m_reloads = m.counter(
+            "repro_reloads_total", "Artifact reloads / registry upserts"
+        )
+        self._m_batches = m.counter(
+            "repro_batches_total", "Micro-batches scored"
+        )
+        self._m_rows = m.counter(
+            "repro_scored_rows_total", "Rows scored across all batches"
+        )
+        self._m_shed = m.counter(
+            "repro_shed_total", "Requests shed at admission (queue full)"
+        )
+        self._m_expired = m.counter(
+            "repro_deadline_expired_total",
+            "Requests whose deadline expired before scoring",
+        )
+        self._m_queue_rows = m.gauge(
+            "repro_queue_rows", "Rows waiting in the micro-batch queue"
+        )
+        self._m_inflight = m.gauge(
+            "repro_inflight_batches", "Batches being scored right now"
+        )
+        self._m_draining = m.gauge(
+            "repro_draining", "1 while the service drains for shutdown"
+        )
+        self._m_uptime = m.gauge(
+            "repro_uptime_seconds", "Seconds since the service started"
+        )
+        self._m_workers = m.gauge(
+            "repro_worker_processes", "Scoring worker processes"
+        )
+        self._m_reg = {
+            stat: m.counter(
+                f"repro_registry_{stat}_total",
+                f"Artifact registry {stat} (multi-tenant mode)",
+            )
+            for stat in ("hits", "misses", "evictions", "loads")
+        }
+        self._m_reg_bytes = m.gauge(
+            "repro_registry_resident_bytes",
+            "Decoded array bytes resident in the artifact registry",
+        )
+        self._m_reg_tenants = m.gauge(
+            "repro_registry_resident_tenants",
+            "Tenants resident in the artifact registry",
+        )
+        self._m_fit_tokens = m.counter(
+            "repro_fit_llm_tokens_total",
+            "LLM tokens spent fitting the served artifact, by direction",
+            labelnames=("direction",),
+        )
+        self._m_fit_requests = m.counter(
+            "repro_fit_llm_requests_total",
+            "LLM requests spent fitting the served artifact",
+        )
+        self._m_llm_retries = m.counter(
+            "repro_llm_retries_total",
+            "LLM attempts retried while fitting the served artifact",
+        )
+        self._m_llm_failed = m.counter(
+            "repro_llm_failed_calls_total",
+            "LLM calls that exhausted retries while fitting",
+        )
+        self._m_breaker_opens = m.counter(
+            "repro_llm_breaker_opens_total",
+            "Circuit-breaker open transitions while fitting",
+        )
+        self._m_breaker_open = m.gauge(
+            "repro_llm_breaker_open",
+            "1 while the live circuit breaker is open",
+        )
+        m.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Refresh bridged metrics from the subsystems' own snapshots."""
+        stats = self._batcher.stats()
+        self._m_batches.set_total(stats["batches"])
+        self._m_rows.set_total(stats["rows"])
+        self._m_shed.set_total(stats["shed"])
+        self._m_expired.set_total(stats["expired"])
+        self._m_queue_rows.set(stats["queued_rows"])
+        self._m_inflight.set(stats["inflight"])
+        with self._stats_lock:
+            self._m_requests.set_total(self.n_requests)
+            self._m_reloads.set_total(self.n_reloads)
+        self._m_draining.set(1 if self._draining else 0)
+        self._m_uptime.set(round(time.time() - self.started_at, 3))
+        self._m_workers.set(self.n_workers)
+        if self._registry is not None:
+            snap = self._registry.snapshot()
+            for stat, counter in self._m_reg.items():
+                counter.set_total(snap[stat])
+            self._m_reg_bytes.set(snap["resident_bytes"])
+            self._m_reg_tenants.set(len(snap["resident"]))
+        tokens = self.scorer.info.get("tokens") or {}
+        if tokens:
+            self._m_fit_tokens.set_total(
+                tokens.get("input_tokens", 0), direction="input"
+            )
+            self._m_fit_tokens.set_total(
+                tokens.get("output_tokens", 0), direction="output"
+            )
+            self._m_fit_requests.set_total(tokens.get("requests", 0))
+        resilience = self.scorer.info.get("resilience") or {}
+        fit_stats = resilience.get("fit_stats") or {}
+        if fit_stats:
+            self._m_llm_retries.set_total(fit_stats.get("retries", 0))
+            self._m_llm_failed.set_total(fit_stats.get("failed_calls", 0))
+            self._m_breaker_opens.set_total(
+                fit_stats.get("breaker_opens", 0)
+            )
+        if self.breaker_state is not None:
+            try:
+                breaker = self.breaker_state()
+            except Exception:
+                breaker = {}
+            self._m_breaker_open.set(
+                1 if breaker.get("state") == "open" else 0
+            )
+
+    # ------------------------------------------------------------------
     def _score_batch_rows(self, key: str | None, rows: list[dict]):
         """The batcher's ``score_fn``: route one batch to its backend.
 
@@ -502,17 +686,40 @@ class ScoringService:
         boundary — the same atomic-swap contract the single-process
         service always had.
         """
-        if self._registry is not None and key is not None:
-            entry = self._registry.get(key)
-            if self._pool is not None:
-                return self._pool.score(
-                    entry.path, entry.arrays_sha256, rows
-                )
-            return entry.scorer.score_rows(rows, name="request").mask.matrix
-        if self._pool is not None:
-            path, sha = self._artifact_ref
-            return self._pool.score(path, sha, rows)
-        return self.scorer.score_rows(rows, name="request").mask.matrix
+        with trace.span("batch", rows=len(rows)) as sp:
+            if self._registry is not None and key is not None:
+                entry = self._registry.get(key)
+                tenant = entry.dataset or entry.fingerprint[:12]
+                sp.set(tenant=tenant, key=key)
+                if self._pool is not None:
+                    flags = self._pool.score(
+                        entry.path, entry.arrays_sha256, rows
+                    )
+                    self._m_worker_batches.inc()
+                else:
+                    flags = entry.scorer.score_rows(
+                        rows, name="request"
+                    ).mask.matrix
+            else:
+                tenant = self.scorer.info.get("dataset") or "default"
+                sp.set(tenant=tenant)
+                if self._pool is not None:
+                    path, sha = self._artifact_ref
+                    flags = self._pool.score(path, sha, rows)
+                    self._m_worker_batches.inc()
+                else:
+                    flags = self.scorer.score_rows(
+                        rows, name="request"
+                    ).mask.matrix
+        self._m_latency.observe(sp.seconds, tenant=tenant)
+        self._m_tenant_rows.inc(len(rows), tenant=tenant)
+        _log.debug(
+            "score.batch",
+            tenant=tenant,
+            rows=len(rows),
+            seconds=round(sp.seconds, 6),
+        )
+        return flags
 
     @property
     def registry(self):
@@ -705,6 +912,11 @@ class ScoringService:
                 self._artifact_ref = (entry.path, entry.arrays_sha256)
             with self._stats_lock:
                 self.n_reloads += 1
+            _log.info(
+                "artifact.reloaded",
+                artifact=str(target),
+                fingerprint=entry.fingerprint,
+            )
             return {
                 "reloaded": True,
                 "artifact": str(target),
@@ -728,6 +940,7 @@ class ScoringService:
         self._artifact_ref = (target, fresh.info.get("arrays_sha256"))
         with self._stats_lock:
             self.n_reloads += 1
+        _log.info("artifact.reloaded", artifact=str(target))
         return {
             "reloaded": True,
             "artifact": str(target),
@@ -745,16 +958,24 @@ class ScoringService:
                 breaker = self.breaker_state()
             except Exception:  # health must never 500 over telemetry
                 breaker = {"state": "unknown"}
+        # One lock-protected snapshot per request: a reader never sees
+        # e.g. ``batches`` from before a batch landed with
+        # ``rows_scored`` from after.  The /metrics collector reads the
+        # same snapshot functions, so the two surfaces always agree.
+        stats = self._batcher.stats()
+        with self._stats_lock:
+            n_requests = self.n_requests
+            n_reloads = self.n_reloads
         return {
             "status": "draining" if self._draining else "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
-            "requests": self.n_requests,
-            "batches": self._batcher.n_batches,
-            "rows_scored": self._batcher.n_rows,
-            "queued_rows": self._batcher.queued_rows,
-            "shed": self._batcher.n_shed,
-            "deadline_expired": self._batcher.n_expired,
-            "reloads": self.n_reloads,
+            "requests": n_requests,
+            "batches": stats["batches"],
+            "rows_scored": stats["rows"],
+            "queued_rows": stats["queued_rows"],
+            "shed": stats["shed"],
+            "deadline_expired": stats["expired"],
+            "reloads": n_reloads,
             "degraded_attrs": resilience.get("degraded_attrs") or {},
             "circuit_breaker": breaker,
             "workers": self.n_workers,
@@ -802,10 +1023,24 @@ def _make_handler(service: ScoringService):
         # handler thread until process death.
         timeout = service.read_timeout_s
 
+        #: Known endpoints; anything else is counted as "other" so a
+        #: scanner probing random paths cannot explode the label space.
+        _KNOWN_PATHS = {
+            "/score", "/reload", "/healthz", "/readyz",
+            "/artifact", "/artifact/arrays", "/metrics",
+        }
+
         def log_message(self, *args) -> None:  # keep test output quiet
             pass
 
+        def _count(self, status: int) -> None:
+            path = (
+                self.path if self.path in self._KNOWN_PATHS else "other"
+            )
+            service._m_http.inc(path=path, status=str(status))
+
         def _send(self, status: int, payload: dict) -> None:
+            self._count(status)
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
@@ -835,6 +1070,7 @@ def _make_handler(service: ScoringService):
         def _send_shed(self, message: str) -> None:
             # 503 + Retry-After: the one header a well-behaved client
             # needs to back off instead of hammering a full queue.
+            self._count(503)
             body = json.dumps(
                 {"error": message, "code": "overloaded"}
             ).encode("utf-8")
@@ -865,6 +1101,7 @@ def _make_handler(service: ScoringService):
                 )
                 return
             size = arrays_path.stat().st_size
+            self._count(200)
             self.send_response(200)
             self.send_header("Content-Type", "application/octet-stream")
             self.send_header("Content-Length", str(size))
@@ -880,12 +1117,26 @@ def _make_handler(service: ScoringService):
                         break
                     self.wfile.write(chunk)
 
+        def _send_metrics(self) -> None:
+            # Prometheus text exposition — not JSON, so it bypasses
+            # _send; the collector refreshes bridged metrics from the
+            # same snapshots /healthz reads.
+            body = service.metrics.render().encode("utf-8")
+            self._count(200)
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:
             if self.path == "/healthz":
                 self._send(200, service.health())
             elif self.path == "/readyz":
                 status, body = service.readiness()
                 self._send(status, body)
+            elif self.path == "/metrics":
+                self._send_metrics()
             elif self.path == "/artifact":
                 self._send(200, service.scorer.info)
             elif self.path == "/artifact/arrays":
@@ -906,11 +1157,25 @@ def _make_handler(service: ScoringService):
                 return
             with service._stats_lock:
                 service.n_requests += 1
+            # Every log line emitted while this request is handled —
+            # including batch-scoring lines on the lane threads via the
+            # trace ids — carries the request id for correlation.
+            request_id = uuid.uuid4().hex[:12]
+            with obs_log.bind(request_id=request_id):
+                self._handle_score_body()
+
+        def _handle_score_body(self) -> None:
             try:
                 payload = json.loads(self._read_body() or b"{}")
                 if not isinstance(payload, dict):
                     raise ArtifactError("body must be a JSON object")
-                self._send(200, service.handle_score(payload))
+                response = service.handle_score(payload)
+                _log.debug(
+                    "score.ok",
+                    rows=response["n_rows"],
+                    batched_with=response["batched_with"],
+                )
+                self._send(200, response)
             except _PayloadTooLarge:
                 # The oversized body was never read; drop the
                 # connection after replying so its bytes cannot be
@@ -926,8 +1191,10 @@ def _make_handler(service: ScoringService):
             except json.JSONDecodeError as exc:
                 self._send_error(400, "invalid_json", f"invalid JSON: {exc}")
             except ServiceOverloaded as exc:
+                _log.warning("score.shed", error=str(exc))
                 self._send_shed(str(exc))
             except DeadlineExceeded as exc:
+                _log.warning("score.deadline_expired", error=str(exc))
                 self._send_error(504, "deadline_exceeded", str(exc))
             except TimeoutError as exc:
                 self._send_error(504, "deadline_exceeded", str(exc))

@@ -49,6 +49,7 @@ from repro.data.mask import ErrorMask
 from repro.data.table import Table
 from repro.errors import DataError
 from repro.ml.rng import spawn
+from repro.obs import trace
 from repro.parallel import effective_jobs, parallel_map_stream
 from repro.serving.jobs import ScoreJournal, job_fingerprint
 
@@ -317,9 +318,11 @@ def score_chunks(
 
     def score_one(job: tuple[int, Table]):
         offset, chunk = job
-        t0 = time.perf_counter()
-        result = shard_scorer.score_table(chunk, row_offset=offset)
-        return offset, chunk, result, time.perf_counter() - t0
+        with trace.span(
+            "shard", offset=offset, rows=chunk.n_rows
+        ) as sp:
+            result = shard_scorer.score_table(chunk, row_offset=offset)
+        return offset, chunk, result, sp.seconds
 
     start = time.perf_counter()
     shard_masks: list[ErrorMask] = []

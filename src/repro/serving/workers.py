@@ -86,11 +86,24 @@ def _worker_scorer(path: str, arrays_sha256: str | None):
 
 
 def _score_batch(
-    path: str, arrays_sha256: str | None, rows: list[dict]
+    path: str,
+    arrays_sha256: str | None,
+    rows: list[dict],
+    trace_id: str | None = None,
 ) -> np.ndarray:
-    """Top-level task function (must be picklable for spawn)."""
+    """Top-level task function (must be picklable for spawn).
+
+    Spans cannot cross the pickle boundary, so the front sends only its
+    ``trace_id`` string; binding it onto this worker's log context
+    correlates worker-side log lines with the front process's trace.
+    """
+    from repro.obs import log as obs_log
+
     scorer = _worker_scorer(path, arrays_sha256)
-    return scorer.score_rows(rows, name="request").mask.matrix
+    if trace_id is None:
+        return scorer.score_rows(rows, name="request").mask.matrix
+    with obs_log.bind(trace_id=trace_id):
+        return scorer.score_rows(rows, name="request").mask.matrix
 
 
 def _warm(path: str, arrays_sha256: str | None) -> str:
@@ -133,9 +146,12 @@ class WorkerPool:
         """Score one micro-batch on some worker; blocks for the flags."""
         if self._closed:
             raise ReproError("worker pool is shut down")
+        from repro.obs import trace
+
         try:
             return self._pool.submit(
-                _score_batch, str(path), arrays_sha256, rows
+                _score_batch, str(path), arrays_sha256, rows,
+                trace.trace_id(),
             ).result()
         except BrokenProcessPool as exc:
             raise WorkerPoolBroken(

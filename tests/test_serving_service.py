@@ -265,7 +265,10 @@ class TestHardening:
 
     def test_artifact_endpoint_carries_resilience_block(self, service):
         _status, payload = _get(service.url + "/artifact")
-        assert payload["resilience"] == {"degraded_attrs": {}}
+        resilience = payload["resilience"]
+        assert resilience["degraded_attrs"] == {}
+        # PR 10: the fit's retry/breaker accounting rides along.
+        assert resilience["fit_stats"]["failed_calls"] == 0
 
 
 class _SlowScorer:
